@@ -1,0 +1,102 @@
+// Command drillsim runs the DRILL paper's evaluation experiments and
+// prints the tables/series each figure reports.
+//
+// Usage:
+//
+//	drillsim -list
+//	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-q]
+//	drillsim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"drill/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		scale  = flag.Float64("scale", 0, "0 = quick single-core defaults, 1 = paper parameters")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		loads  = flag.String("loads", "", "comma-separated load override, e.g. 0.1,0.5,0.8")
+		reps   = flag.Int("reps", 1, "replications per sweep cell (pooled samples)")
+		format = flag.String("format", "table", "output format: table | csv | json")
+		quiet  = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+	if *loads != "" {
+		for _, part := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: bad load %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opts.Loads = append(opts.Loads, v)
+		}
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e := experiments.Get(strings.TrimSpace(id))
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "drillsim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep := e.Run(opts)
+		switch *format {
+		case "table":
+			fmt.Print(rep.Format())
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		case "csv":
+			out, err := rep.CSV()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: csv: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		case "json":
+			out, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+		default:
+			fmt.Fprintf(os.Stderr, "drillsim: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command quiverdump builds a Clos topology, optionally fails links, and
+// prints the Quiver decomposition of §3.4: per source/destination leaf
+// pair, the symmetric path components with their weights and capacities —
+// the control-plane state DRILL's data plane consumes. It is the runnable
+// version of the paper's Figure 4/5 walk-through.
+//
+// Usage:
+//
+//	quiverdump [-spines 3] [-leaves 4] [-fail L0-S0,L2-S1] [-pair L3-L1]
+//	quiverdump -topo hetero -spines 4 -leaves 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"drill/internal/quiver"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+func main() {
+	var (
+		kind   = flag.String("topo", "leafspine", "topology: leafspine | hetero")
+		spines = flag.Int("spines", 3, "spine count")
+		leaves = flag.Int("leaves", 4, "leaf count")
+		fails  = flag.String("fail", "", "links to fail, e.g. L0-S0,L2-S1")
+		pair   = flag.String("pair", "", "only show this src-dst leaf pair, e.g. L3-L1")
+	)
+	flag.Parse()
+
+	var t *topo.Topology
+	switch *kind {
+	case "leafspine":
+		t = topo.LeafSpine(topo.LeafSpineConfig{Spines: *spines, Leaves: *leaves,
+			HostsPerLeaf: 1, HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps})
+	case "hetero":
+		t = topo.Heterogeneous(topo.HeterogeneousConfig{Spines: *spines, Leaves: *leaves,
+			HostsPerLeaf: 1})
+	default:
+		fmt.Fprintf(os.Stderr, "quiverdump: unknown topology %q\n", *kind)
+		os.Exit(2)
+	}
+
+	spineIDs := map[int]topo.NodeID{}
+	i := 0
+	for _, n := range t.Nodes {
+		if n.Kind == topo.Spine {
+			spineIDs[i] = n.ID
+			i++
+		}
+	}
+	leafAt := func(i int) topo.NodeID {
+		if i < 0 || i >= len(t.Leaves) {
+			fmt.Fprintf(os.Stderr, "quiverdump: leaf L%d out of range\n", i)
+			os.Exit(2)
+		}
+		return t.Leaves[i]
+	}
+
+	if *fails != "" {
+		for _, f := range strings.Split(*fails, ",") {
+			parts := strings.SplitN(strings.TrimSpace(f), "-", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				fmt.Fprintf(os.Stderr, "quiverdump: bad -fail entry %q (want L0-S0)\n", f)
+				os.Exit(2)
+			}
+			li, err1 := strconv.Atoi(strings.TrimPrefix(parts[0], "L"))
+			si, err2 := strconv.Atoi(strings.TrimPrefix(parts[1], "S"))
+			if err1 != nil || err2 != nil {
+				fmt.Fprintf(os.Stderr, "quiverdump: bad -fail entry %q\n", f)
+				os.Exit(2)
+			}
+			links := t.LinkBetween(leafAt(li), spineIDs[si])
+			if len(links) == 0 {
+				fmt.Fprintf(os.Stderr, "quiverdump: no up link L%d-S%d\n", li, si)
+				os.Exit(2)
+			}
+			t.FailLink(links[0])
+			fmt.Printf("failed L%d-S%d\n", li, si)
+		}
+	}
+
+	r := topo.ComputeRoutes(t)
+	q := quiver.Build(r)
+
+	show := func(src, dst topo.NodeID) {
+		comps := q.Decompose(src, dst)
+		fmt.Printf("\n%s -> %s: %d symmetric component(s)\n",
+			t.Nodes[src].Name, t.Nodes[dst].Name, len(comps))
+		for ci, c := range comps {
+			fmt.Printf("  component %d  weight=%d  capacity=%v\n", ci, c.Weight, c.Capacity)
+			for _, p := range c.Paths {
+				names := make([]string, 0, len(p)+1)
+				for _, nid := range r.PathNodes(src, p) {
+					names = append(names, t.Nodes[nid].Name)
+				}
+				fmt.Printf("    %s\n", strings.Join(names, " -> "))
+			}
+		}
+	}
+
+	if *pair != "" {
+		parts := strings.SplitN(*pair, "-", 2)
+		si, err1 := strconv.Atoi(strings.TrimPrefix(parts[0], "L"))
+		di, err2 := strconv.Atoi(strings.TrimPrefix(parts[1], "L"))
+		if len(parts) != 2 || err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "quiverdump: bad -pair (want L3-L1)\n")
+			os.Exit(2)
+		}
+		show(leafAt(si), leafAt(di))
+		return
+	}
+	for _, src := range t.Leaves {
+		for _, dst := range t.Leaves {
+			if src != dst {
+				show(src, dst)
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package drill_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drill"
+)
+
+// ExampleNewSelector shows the DRILL(d,m) algorithm standalone: spreading
+// items across workers by sampled load.
+func ExampleNewSelector() {
+	sel := drill.NewSelector(2, 1, rand.New(rand.NewSource(1)))
+	load := []int64{90, 10, 90, 90} // worker 1 is nearly idle
+	counts := make([]int, 4)
+	for i := 0; i < 100; i++ {
+		counts[sel.Pick(4, func(w int) int64 { return load[w] })]++
+	}
+	fmt.Println(counts[1] > 60)
+	// Output: true
+}
+
+// ExampleNewCluster runs one TCP flow across a simulated leaf-spine Clos
+// balanced by DRILL.
+func ExampleNewCluster() {
+	topo := drill.LeafSpine(2, 2, 2)
+	c := drill.NewCluster(topo, drill.Options{Balancer: drill.DRILL()})
+	hosts := c.Hosts()
+	f := c.StartFlow(hosts[0], hosts[2], 50*1460, "")
+	c.RunToCompletion()
+	fmt.Println(f.Done(), f.AckedBytes())
+	// Output: true 73000
+}

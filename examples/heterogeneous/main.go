@@ -1,0 +1,41 @@
+// Heterogeneous: the Fig. 13 scenario — imbalanced striping, where each
+// leaf has two parallel links to its two "near" spines and single links
+// elsewhere. Load-oblivious schemes (Presto, WCMP) either over- or
+// under-use the parallel links; DRILL's capacity-factor labels (§3.4.3)
+// group symmetric paths and weight them by capacity.
+package main
+
+import (
+	"fmt"
+
+	"drill"
+)
+
+func main() {
+	const (
+		load    = 0.6
+		horizon = 4 * drill.Millisecond
+	)
+	fmt.Printf("16 leaves x 12 hosts, 6 spines, doubled links to near spines; %.0f%% load\n\n", load*100)
+	fmt.Printf("%-8s %10s %10s %12s\n", "scheme", "mean[ms]", "p99[ms]", "p99.99[ms]")
+	for _, cfg := range []struct {
+		name string
+		bal  drill.Balancer
+		shim drill.Time
+	}{
+		{"WCMP", drill.WCMP(), 0},
+		{"Presto", drill.Presto(), 100 * drill.Microsecond},
+		{"CONGA", drill.CONGA(), 0},
+		{"DRILL", drill.DRILL(), 100 * drill.Microsecond},
+	} {
+		c := drill.NewCluster(drill.Heterogeneous(6, 16, 12), drill.Options{
+			Balancer: cfg.bal, Seed: 21, ShimTimeout: cfg.shim,
+		})
+		c.MeasureFrom(500 * drill.Microsecond)
+		c.OfferLoad(load, drill.FacebookCache, horizon)
+		c.Run(horizon + 20*drill.Millisecond)
+		fct := c.Stats().FCT("")
+		fmt.Printf("%-8s %10.3f %10.3f %12.3f\n",
+			cfg.name, fct.Mean(), fct.Percentile(99), fct.Percentile(99.99))
+	}
+}

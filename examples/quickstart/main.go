@@ -1,0 +1,47 @@
+// Quickstart: build a leaf–spine fabric, run the same bursty workload
+// under ECMP and DRILL, and compare flow completion times — the paper's
+// headline comparison in ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"drill"
+)
+
+func main() {
+	const (
+		load    = 0.8
+		horizon = 5 * drill.Millisecond
+	)
+	fmt.Printf("leaf-spine 4x8x20, %.0f%% offered core load, %v of traffic\n\n", load*100, horizon)
+	fmt.Printf("%-8s %10s %10s %10s %10s %8s\n",
+		"scheme", "flows", "mean[ms]", "p99[ms]", "p99.99[ms]", "drops")
+
+	for _, cfg := range []struct {
+		name string
+		bal  drill.Balancer
+		shim drill.Time
+	}{
+		{"ECMP", drill.ECMP(), 0},
+		{"DRILL", drill.DRILL(), 100 * drill.Microsecond},
+	} {
+		topo := drill.LeafSpine(4, 8, 20)
+		c := drill.NewCluster(topo, drill.Options{
+			Balancer:    cfg.bal,
+			Seed:        42,
+			ShimTimeout: cfg.shim,
+		})
+		c.MeasureFrom(500 * drill.Microsecond) // warm-up excluded
+		c.OfferLoad(load, drill.FacebookCache, horizon)
+		c.Run(horizon + 20*drill.Millisecond) // let tails drain
+
+		fct := c.Stats().FCT("")
+		fmt.Printf("%-8s %10d %10.3f %10.3f %10.3f %8d\n",
+			cfg.name, fct.Count(), fct.Mean(),
+			fct.Percentile(99), fct.Percentile(99.99), c.Stats().Drops())
+	}
+
+	fmt.Println("\nDRILL's per-packet, queue-aware decisions keep upstream queues")
+	fmt.Println("balanced, which shows up as lower tail latency under load.")
+}

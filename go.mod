@@ -1,0 +1,3 @@
+module drill
+
+go 1.22

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestPickSingleCandidate(t *testing.T) {
+	s := NewSelector(2, 1, rng())
+	if got := s.Pick(1, func(int) int64 { return 99 }); got != 0 {
+		t.Fatalf("Pick(1) = %d", got)
+	}
+}
+
+func TestPickReturnsInRange(t *testing.T) {
+	f := func(d, m, n uint8, seed int64) bool {
+		dd := int(d%4) + 1
+		mm := int(m % 4)
+		nn := int(n%16) + 1
+		s := NewSelector(dd, mm, rand.New(rand.NewSource(seed)))
+		loads := make([]int64, nn)
+		r := rand.New(rand.NewSource(seed + 1))
+		for k := 0; k < 50; k++ {
+			i := s.Pick(nn, func(q int) int64 { return loads[q] })
+			if i < 0 || i >= nn {
+				return false
+			}
+			loads[i] += int64(r.Intn(1500))
+			for q := range loads {
+				loads[q] = max64(0, loads[q]-500)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestPicksLeastLoadedOfSamples(t *testing.T) {
+	// With d = n (all queues sampled) the global minimum must win.
+	s := NewSelector(8, 0, rng())
+	loads := []int64{5, 3, 9, 1, 7, 2, 8, 6}
+	for trial := 0; trial < 20; trial++ {
+		if got := s.Pick(8, func(q int) int64 { return loads[q] }); got != 3 {
+			t.Fatalf("Pick = %d, want 3 (global min)", got)
+		}
+	}
+}
+
+func TestMemoryRetainsLeastLoaded(t *testing.T) {
+	s := NewSelector(2, 1, rng())
+	loads := []int64{10, 10, 10, 0, 10, 10}
+	// Run until queue 3 is sampled at least once; afterwards memory must
+	// hold it (it is the global minimum among anything sampled with it).
+	seen3 := false
+	for trial := 0; trial < 100; trial++ {
+		got := s.Pick(6, func(q int) int64 { return loads[q] })
+		if got == 3 {
+			seen3 = true
+		}
+		if seen3 {
+			mem := s.Memory()
+			if len(mem) != 1 || mem[0] != 3 {
+				t.Fatalf("memory = %v after picking 3", mem)
+			}
+			// Every subsequent pick must return 3: memory carries it.
+			if got != 3 {
+				t.Fatalf("pick = %d after 3 in memory", got)
+			}
+		}
+	}
+	if !seen3 {
+		t.Fatal("queue 3 never sampled in 100 trials of d=2 over 6 queues")
+	}
+}
+
+func TestTiesFavorMemory(t *testing.T) {
+	// All-equal loads: once memory holds a queue, it keeps winning.
+	s := NewSelector(1, 1, rng())
+	first := s.Pick(8, func(int) int64 { return 7 })
+	for trial := 0; trial < 50; trial++ {
+		if got := s.Pick(8, func(int) int64 { return 7 }); got != first {
+			t.Fatalf("tie not sticky: first=%d now=%d", first, got)
+		}
+	}
+}
+
+func TestMemoryDistinct(t *testing.T) {
+	s := NewSelector(4, 3, rng())
+	loads := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for trial := 0; trial < 50; trial++ {
+		s.Pick(8, func(q int) int64 { return loads[q] })
+		mem := s.Memory()
+		if len(mem) > 3 {
+			t.Fatalf("memory overflow: %v", mem)
+		}
+		seen := map[int32]bool{}
+		for _, q := range mem {
+			if seen[q] {
+				t.Fatalf("duplicate in memory: %v", mem)
+			}
+			seen[q] = true
+		}
+	}
+}
+
+func TestMemorySurvivesCandidateShrink(t *testing.T) {
+	// After a failure the candidate set shrinks; stale memory entries
+	// pointing past the new n must be ignored, not crash or be returned.
+	s := NewSelector(2, 2, rng())
+	for trial := 0; trial < 10; trial++ {
+		s.Pick(8, func(q int) int64 { return int64(8 - q) }) // biases memory to high indices
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := s.Pick(3, func(q int) int64 { return 1 })
+		if got < 0 || got >= 3 {
+			t.Fatalf("pick out of range after shrink: %d", got)
+		}
+	}
+}
+
+func TestDLargerThanN(t *testing.T) {
+	s := NewSelector(10, 2, rng())
+	loads := []int64{4, 0, 9}
+	if got := s.Pick(3, func(q int) int64 { return loads[q] }); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+}
+
+func TestDZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for d=0")
+		}
+	}()
+	NewSelector(0, 1, rng())
+}
+
+func TestNegativeMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for m<0")
+		}
+	}()
+	NewSelector(1, -1, rng())
+}
+
+func TestPickNoCandidatesPanics(t *testing.T) {
+	s := NewSelector(1, 1, rng())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for n=0")
+		}
+	}()
+	s.Pick(0, func(int) int64 { return 0 })
+}
+
+func TestDrillBeatsRandomOnStaticLoads(t *testing.T) {
+	// Sanity: against a static imbalanced load vector, DRILL(2,1) lands on
+	// low-load queues far more often than uniform random would.
+	s := NewSelector(2, 1, rng())
+	loads := []int64{100, 100, 100, 100, 0, 100, 100, 100}
+	hits := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		if s.Pick(8, func(q int) int64 { return loads[q] }) == 4 {
+			hits++
+		}
+	}
+	// Uniform random would hit ~125; with memory DRILL locks on after the
+	// first sample of queue 4.
+	if hits < trials/2 {
+		t.Fatalf("DRILL hit the empty queue only %d/%d times", hits, trials)
+	}
+}
+
+func TestMemoryZeroAllocPick(t *testing.T) {
+	s := NewSelector(2, 1, rng())
+	loads := make([]int64, 16)
+	load := func(q int) int64 { return loads[q] }
+	allocs := testing.AllocsPerRun(1000, func() {
+		loads[s.Pick(16, load)]++
+	})
+	if allocs > 0 {
+		t.Errorf("Pick allocates %v per run; want 0", allocs)
+	}
+}
+
+func BenchmarkDrillSelectorPick(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		d, m int
+	}{
+		{"d1m0", 1, 0}, {"d2m1", 2, 1}, {"d12m1", 12, 1}, {"d2m11", 2, 11}, {"d20m1", 20, 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := NewSelector(cfg.d, cfg.m, rng())
+			loads := make([]int64, 48)
+			load := func(q int) int64 { return loads[q] }
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := s.Pick(48, load)
+				loads[q] += 1500
+				if i%8 == 0 {
+					for j := range loads {
+						loads[j] = max64(0, loads[j]-1500)
+					}
+				}
+			}
+		})
+	}
+}

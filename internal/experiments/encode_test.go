@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := &Report{ID: "t", Title: "demo", Columns: []string{"a", "b"}}
+	r.AddRow("1", "two, with comma")
+	r.AddRow("3", `quote "inside"`)
+	r.Note("hello")
+	return r
+}
+
+func TestReportCSV(t *testing.T) {
+	out, err := sampleReport().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"two, with comma"`) {
+		t.Errorf("comma not quoted: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "note") {
+		t.Errorf("note row missing: %q", lines[3])
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	out, err := sampleReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid json: %v\n%s", err, out)
+	}
+	if decoded.ID != "t" || len(decoded.Rows) != 2 || len(decoded.Notes) != 1 {
+		t.Fatalf("round trip mismatch: %+v", decoded)
+	}
+	if decoded.Rows[1][1] != `quote "inside"` {
+		t.Fatalf("quote mangled: %q", decoded.Rows[1][1])
+	}
+}

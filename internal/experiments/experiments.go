@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the DRILL
+// paper's evaluation (§4) plus the ablations DESIGN.md calls out. Each
+// experiment is registered by id ("fig6a", "table1", ...) and produces a
+// Report with the same rows/series the paper plots.
+//
+// The paper's runs use up to 48×48×48 Clos fabrics simulated for 100 s;
+// this package defaults to reduced topologies and millisecond-scale
+// windows that preserve the comparisons' *shape* (who wins, by what
+// factor) on a single-core machine, and interpolates toward the paper's
+// parameters as Options.Scale → 1.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drill/internal/units"
+)
+
+// Options controls an experiment invocation.
+type Options struct {
+	// Seed makes runs reproducible; experiments derive per-run seeds.
+	Seed int64
+	// Scale in [0,1] interpolates between quick single-core defaults (0)
+	// and the paper's full parameters (1).
+	Scale float64
+	// Loads overrides the offered-load sweep points, when the experiment
+	// has one.
+	Loads []float64
+	// Reps replicates each FCT-sweep cell across that many seeds and pools
+	// the samples (default 1). Raises run time linearly.
+	Reps int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale < 0 {
+		o.Scale = 0
+	}
+	if o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Reps < 1 {
+		o.Reps = 1
+	}
+}
+
+func (o *Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// loads returns the experiment's load sweep, honoring any override.
+func (o *Options) loads(def []float64) []float64 {
+	if len(o.Loads) > 0 {
+		return o.Loads
+	}
+	return def
+}
+
+// lerpInt interpolates an integer parameter between the quick default and
+// the paper's value.
+func lerpInt(small, paper int, scale float64) int {
+	v := float64(small) + scale*float64(paper-small)
+	n := int(v + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// lerpTime interpolates a duration parameter.
+func lerpTime(small, paper units.Time, scale float64) units.Time {
+	return small + units.Time(scale*float64(paper-small))
+}
+
+// Report is an experiment's result table.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-form note shown under the table.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Experiment is a registered, runnable evaluation artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) *Report
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id, or nil.
+func Get(id string) *Experiment { return registry[id] }
+
+// All returns every registered experiment sorted by id.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// fmtMs formats a milliseconds value for report cells.
+func fmtMs(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtF formats a generic float.
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }

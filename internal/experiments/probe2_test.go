@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/units"
+)
+
+// TestProbeReordering diagnoses dup-ACK generation per scheme (Fig. 11a's
+// metric) on the small fig6 fabric at 80% load.
+func TestProbeReordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	for _, name := range []string{"Random", "RR", "Presto before shim", "DRILL w/o shim"} {
+		sc, ok := SchemeByName(name)
+		if !ok {
+			t.Fatalf("no scheme %q", name)
+		}
+		res := Run(RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+			Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+		})
+		t.Logf("%-18s flows=%d anyDup=%.3f%% dup>=3=%.3f%% retx=%d",
+			name, res.DupAcks.Count(),
+			100*res.DupAcks.FracAtLeast(1), 100*res.DupAcks.FracAtLeast(3),
+			res.Retransmits)
+	}
+}

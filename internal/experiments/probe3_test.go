@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/units"
+)
+
+// TestProbeVisibility isolates reordering causes: oracle counters
+// (VisFactor 0) vs delayed, and more spines (shallower per-path bursts).
+func TestProbeVisibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	sc, _ := SchemeByName("DRILL w/o shim")
+	for _, v := range []struct {
+		name string
+		vis  float64
+		eng  int
+	}{
+		{"vis=1 eng=1", 1, 1},
+		{"vis=0.01 eng=1", 0.01, 1},
+		{"vis=1 eng=4", 1, 4},
+	} {
+		res := Run(RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+			Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+			VisFactor: v.vis, Engines: v.eng,
+		})
+		t.Logf("%-16s anyDup=%.2f%% dup>=3=%.2f%% retx=%d meanFCT=%.3f",
+			v.name, 100*res.DupAcks.FracAtLeast(1), 100*res.DupAcks.FracAtLeast(3),
+			res.Retransmits, res.FCT.Mean())
+	}
+}

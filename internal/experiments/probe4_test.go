@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/transport"
+	"drill/internal/units"
+	"drill/internal/workload"
+)
+
+// TestProbeBurstiness maps arrival burstiness to reordering and to the
+// ECMP-vs-DRILL FCT gap.
+func TestProbeBurstiness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	for _, burst := range []int{1, 4, 8} {
+		for _, name := range []string{"ECMP", "Random", "DRILL w/o shim"} {
+			sc, _ := SchemeByName(name)
+			res := runWithBurst(sc, burst)
+			t.Logf("burst=%d %-15s mean=%.3fms p99.99=%.2fms anyDup=%.2f%% dup>=3=%.2f%% retx=%d util=%.2f",
+				burst, name, res.FCT.Mean(), res.FCT.Percentile(99.99),
+				100*res.DupAcks.FracAtLeast(1), 100*res.DupAcks.FracAtLeast(3),
+				res.Retransmits, res.CoreUtil)
+		}
+	}
+}
+
+func runWithBurst(sc Scheme, burst int) *RunResult {
+	cfg := RunCfg{
+		Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+		Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+	}
+	// Copy of Run's workload setup with BurstMean override via hook.
+	cfg.Hook = func(reg *transport.Registry, until units.Time) {
+		g := workload.NewGenerator(reg, workload.Truncate(workload.FacebookCache, 2e6), 0.8, until)
+		g.BurstMean = burst
+		g.Start()
+	}
+	cfg.Load = 0 // hook replaces the default generator
+	return Run(cfg)
+}

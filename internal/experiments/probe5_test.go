@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/units"
+)
+
+// TestProbeQueueSTDV checks the Fig. 2 metric on the small fabric.
+func TestProbeQueueSTDV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	for _, name := range []string{"ECMP", "Random", "RR", "DRILL w/o shim"} {
+		sc, _ := SchemeByName(name)
+		res := Run(RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+			Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+			SampleQueues: true,
+		})
+		t.Logf("%-15s upSTDV=%.3f downSTDV=%.3f anyDup=%.2f%%",
+			name, res.UplinkSTDV, res.DownlinkSTDV, 100*res.DupAcks.FracAtLeast(1))
+	}
+}

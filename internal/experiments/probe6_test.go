@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/units"
+)
+
+// TestProbeVisSTDV maps visibility delay to DRILL's queue balance.
+func TestProbeVisSTDV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	sc, _ := SchemeByName("DRILL w/o shim")
+	for _, vf := range []float64{1, 0.25, 0.05, 0.0001} {
+		res := Run(RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+			Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+			SampleQueues: true, VisFactor: vf,
+		})
+		t.Logf("vis=%.4f upSTDV=%.3f downSTDV=%.3f anyDup=%.2f%% dup>=3=%.2f%%",
+			vf, res.UplinkSTDV, res.DownlinkSTDV,
+			100*res.DupAcks.FracAtLeast(1), 100*res.DupAcks.FracAtLeast(3))
+	}
+}

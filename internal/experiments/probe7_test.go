@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/units"
+)
+
+// TestProbeWireReorder separates wire reordering from dup-ACK counts.
+func TestProbeWireReorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	for _, name := range []string{"Random", "RR", "Presto before shim", "DRILL w/o shim", "ECMP"} {
+		sc, _ := SchemeByName(name)
+		res := Run(RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+			Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+		})
+		t.Logf("%-18s wire>=1=%.2f%% wire>=3=%.2f%% anyDup=%.2f%% dup>=3=%.2f%% retx=%d",
+			name,
+			100*res.WireReorders.FracAtLeast(1), 100*res.WireReorders.FracAtLeast(3),
+			100*res.DupAcks.FracAtLeast(1), 100*res.DupAcks.FracAtLeast(3),
+			res.Retransmits)
+	}
+}

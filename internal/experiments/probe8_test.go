@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/metrics"
+	"drill/internal/transport"
+	"drill/internal/units"
+)
+
+// TestProbeInversionBlame localizes which hop causes wire reordering.
+func TestProbeInversionBlame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	sc, _ := SchemeByName("DRILL w/o shim")
+	var blame [6]int64
+	res := Run(RunCfg{
+		Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+		Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+		Hook: func(reg *transport.Registry, until units.Time) {
+			reg.OnComplete = func(*transport.Sender) { blame = reg.Stats.InversionBlame }
+		},
+	})
+	t.Logf("wire>=1=%.2f%%", 100*res.WireReorders.FracAtLeast(1))
+	for h := 0; h < 6; h++ {
+		t.Logf("  blame %-10s %d", metrics.HopClass(h), blame[h])
+	}
+}

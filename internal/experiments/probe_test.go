@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/metrics"
+	"drill/internal/units"
+)
+
+// TestProbeHopBreakdown is a diagnostic: run with -v to see where queueing
+// and drops happen per scheme at 80% load on the small fig6 fabric.
+func TestProbeHopBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic probe")
+	}
+	for _, name := range []string{"ECMP", "DRILL w/o shim", "DRILL"} {
+		sc, ok := SchemeByName(name)
+		if !ok {
+			t.Fatalf("no scheme %q", name)
+		}
+		res := Run(RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.8,
+			Warmup: 500 * units.Microsecond, Measure: 3 * units.Millisecond,
+		})
+		t.Logf("%-15s mean=%.3fms p99.99=%.3fms flows=%d retx=%d timeouts=%d",
+			name, res.FCT.Mean(), res.FCT.Percentile(99.99), res.FCT.Count(),
+			res.Retransmits, res.Timeouts)
+		t.Logf("   core util=%.2f", res.CoreUtil)
+		for h := metrics.HopClass(0); h < metrics.NumHopClasses; h++ {
+			if res.Hops.Packets[h] == 0 && res.Hops.Drops[h] == 0 {
+				continue
+			}
+			t.Logf("   %-10s drops=%-6d pkts=%-8d meanQ=%.2fus",
+				h, res.Hops.Drops[h], res.Hops.Packets[h], res.Hops.MeanQueueing(h))
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"drill/internal/fabric"
+	"drill/internal/metrics"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/transport"
+	"drill/internal/units"
+	"drill/internal/workload"
+)
+
+// Scheme is a named load-balancing configuration: the balancer plus the
+// receiver-shim setting the paper pairs it with.
+type Scheme struct {
+	Name string
+	New  func() fabric.Balancer
+	Shim units.Time // 0 = no reordering shim at receivers
+}
+
+// DefaultShim is the hold timeout of the receiver reordering shim when a
+// scheme uses one. It is sized to cover the queueing-delay skew between
+// equal-cost paths (tens of µs) without materially delaying loss recovery:
+// a lost packet's successors are flushed, and TCP's duplicate ACKs flow,
+// after at most this hold.
+const DefaultShim = 100 * units.Microsecond
+
+// RunCfg fully describes one simulation run.
+type RunCfg struct {
+	Topo   func() *topo.Topology
+	Scheme Scheme
+	Seed   int64
+
+	Engines  int // forwarding engines per switch (default 1)
+	QueueCap int // per-port packet cap (default fabric's 128)
+
+	// Load and Sizes drive the background Poisson workload; Load 0 disables.
+	Load  float64
+	Sizes *workload.SizeDist
+
+	Warmup  units.Time
+	Measure units.Time
+
+	// DrainFlows lets in-flight flows finish after the measure window (FCTs
+	// of measured flows are then complete); capped by DrainLimit.
+	DrainLimit units.Time
+
+	// Incast adds the Fig. 14 application with this period (0 = off).
+	IncastPeriod units.Time
+
+	// FailLinks fails that many random leaf-uplink links before traffic.
+	FailLinks int
+	// FailAt, when > 0, fails the links mid-run at this time instead.
+	FailAt units.Time
+	// InstantReconverge models ideal-DRILL (no OSPF delay).
+	InstantReconverge bool
+
+	// SampleQueues enables the 10µs queue-length STDV sampler of §3.2.3.
+	SampleQueues bool
+	// TrackGRO enables GRO batch accounting.
+	TrackGRO bool
+	// VisFactor overrides the queue-visibility delay factor (default 1).
+	VisFactor float64
+
+	// Synthetic, when non-nil, replaces the Poisson workload (Table 1).
+	Synthetic func(reg *transport.Registry, until units.Time) *workload.Synthetic
+
+	// Hook, when non-nil, is invoked at setup to install custom traffic or
+	// instrumentation (runs in addition to whatever Load configures).
+	Hook func(reg *transport.Registry, until units.Time)
+}
+
+// RunResult carries everything the report builders consume.
+type RunResult struct {
+	FCT          *metrics.Dist // ms, all measured flows
+	Classes      map[string]*metrics.Dist
+	DupAcks      *metrics.IntHist
+	WireReorders *metrics.IntHist
+	Hops         *metrics.HopStats
+
+	// UplinkSTDV / DownlinkSTDV are the §3.2.3 queue-balance metrics:
+	// time-averaged standard deviation of leaf-uplink queue lengths and of
+	// spine-downlink-per-leaf queue lengths, in packets.
+	UplinkSTDV, DownlinkSTDV float64
+
+	Flows       int64
+	Drops       int64
+	Retransmits int64
+	Timeouts    int64
+	GROBatches  int64
+	GROSegments int64
+
+	ElephantGbps float64 // mean per-elephant goodput (Synthetic runs)
+
+	// CoreUtil is the measured mean utilization of leaf uplinks during the
+	// measurement window (achieved, vs the configured offered Load).
+	CoreUtil float64
+
+	Events uint64
+}
+
+// Run executes one configured simulation and collects its measurements.
+func Run(cfg RunCfg) *RunResult {
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 1 * units.Millisecond
+	}
+	if cfg.Measure == 0 {
+		cfg.Measure = 4 * units.Millisecond
+	}
+	if cfg.DrainLimit == 0 {
+		cfg.DrainLimit = 20 * units.Millisecond
+	}
+	t := cfg.Topo()
+	s := sim.New(cfg.Seed)
+	net := fabric.New(s, t, fabric.Config{
+		Balancer:  cfg.Scheme.New(),
+		Engines:   cfg.Engines,
+		QueueCap:  cfg.QueueCap,
+		VisFactor: cfg.VisFactor,
+	})
+	reg := transport.NewRegistry(s, net, transport.Config{
+		ShimTimeout: cfg.Scheme.Shim,
+		TrackGRO:    cfg.TrackGRO,
+	})
+	reg.MeasureFrom = cfg.Warmup
+	end := cfg.Warmup + cfg.Measure
+
+	// Pre-run failures.
+	if cfg.FailLinks > 0 && cfg.FailAt == 0 {
+		failRandomUplinks(t, net, cfg.FailLinks, cfg.Seed, true)
+	}
+	if cfg.FailLinks > 0 && cfg.FailAt > 0 {
+		at := cfg.FailAt
+		s.At(at, func() {
+			failRandomUplinks(t, net, cfg.FailLinks, cfg.Seed, cfg.InstantReconverge)
+		})
+	}
+
+	var syn *workload.Synthetic
+	if cfg.Synthetic != nil {
+		syn = cfg.Synthetic(reg, end)
+	} else if cfg.Load > 0 {
+		sizes := cfg.Sizes
+		if sizes == nil {
+			// Default: the cache-follower trace with its tail truncated so
+			// millisecond windows can actually carry the offered load.
+			sizes = workload.Truncate(workload.FacebookCache, 2e6)
+		}
+		g := workload.NewGenerator(reg, sizes, workload.Load(cfg.Load), end)
+		g.Start()
+	}
+	if cfg.IncastPeriod > 0 {
+		inc := workload.NewIncast(reg, cfg.IncastPeriod, end)
+		inc.Start()
+	}
+	if cfg.Hook != nil {
+		cfg.Hook(reg, end)
+	}
+
+	var sampler *queueSampler
+	if cfg.SampleQueues {
+		sampler = newQueueSampler(net)
+		sim.NewTicker(s, 10*units.Microsecond, func(now units.Time) {
+			if now >= cfg.Warmup && now <= end {
+				sampler.sample()
+			}
+		})
+	}
+
+	// Snapshot uplink byte counters around the measure window for the
+	// achieved-utilization metric.
+	uplinks := allLeafUplinks(net)
+	var txAtWarmup, txAtEnd int64
+	s.At(cfg.Warmup, func() {
+		for _, p := range uplinks {
+			txAtWarmup += p.TxBytes
+		}
+	})
+	s.At(end, func() {
+		for _, p := range uplinks {
+			txAtEnd += p.TxBytes
+		}
+	})
+
+	s.RunUntil(end)
+	// Let measured in-flight flows drain so tail FCTs are complete.
+	s.RunUntil(end + cfg.DrainLimit)
+	s.Halt()
+
+	var coreCap float64
+	for _, p := range uplinks {
+		coreCap += float64(p.Rate)
+	}
+	coreUtil := 0.0
+	if coreCap > 0 {
+		coreUtil = float64(txAtEnd-txAtWarmup) * 8 / (coreCap * cfg.Measure.Seconds())
+	}
+
+	res := &RunResult{
+		FCT:          &reg.Stats.FCT,
+		Classes:      reg.Stats.FCTByClass,
+		DupAcks:      &reg.Stats.DupAcks,
+		WireReorders: &reg.Stats.WireReorders,
+		Hops:         &net.Hops,
+		Flows:        reg.Stats.FlowsStarted,
+		Drops:        net.Hops.TotalDrops(),
+		Retransmits:  reg.Stats.Retransmits,
+		Timeouts:     reg.Stats.Timeouts,
+		GROBatches:   reg.Stats.GROBatches,
+		GROSegments:  reg.Stats.GROSegments,
+		CoreUtil:     coreUtil,
+		Events:       s.Executed,
+	}
+	if sampler != nil {
+		res.UplinkSTDV = sampler.up.Mean()
+		res.DownlinkSTDV = sampler.down.Mean()
+	}
+	if syn != nil {
+		res.ElephantGbps = syn.ElephantGoodput(cfg.Measure + cfg.DrainLimit)
+	}
+	return res
+}
+
+// allLeafUplinks collects every leaf's fabric-facing output ports.
+func allLeafUplinks(net *fabric.Network) []*fabric.Port {
+	var out []*fabric.Port
+	for _, leaf := range net.Topo.Leaves {
+		out = append(out, net.LeafUplinks(leaf)...)
+	}
+	return out
+}
+
+// failRandomUplinks fails n distinct leaf-to-fabric links, deterministically
+// per seed.
+func failRandomUplinks(t *topo.Topology, net *fabric.Network, n int, seed int64, instant bool) {
+	rng := sim.New(seed).Stream(0xfa11)
+	var cands []topo.LinkID
+	for _, l := range t.Links {
+		if !l.Up {
+			continue
+		}
+		ka, kb := t.Nodes[l.A].Kind, t.Nodes[l.B].Kind
+		if ka == topo.Host || kb == topo.Host {
+			continue
+		}
+		if ka == topo.Leaf || kb == topo.Leaf {
+			cands = append(cands, l.ID)
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		net.FailLink(cands[i], instant)
+	}
+}
+
+// queueSampler implements the §3.2.3 metric: every 10µs, the standard
+// deviation of each leaf's uplink queue lengths and of the fabric downlink
+// queues pointing at each leaf.
+type queueSampler struct {
+	upGroups   [][]*fabric.Port
+	downGroups [][]*fabric.Port
+	up, down   metrics.Welford
+	scratch    []int32
+}
+
+func newQueueSampler(net *fabric.Network) *queueSampler {
+	qs := &queueSampler{}
+	for _, leaf := range net.Topo.Leaves {
+		if ups := net.LeafUplinks(leaf); len(ups) > 1 {
+			qs.upGroups = append(qs.upGroups, ups)
+		}
+		if downs := net.DownlinksTo(leaf); len(downs) > 1 {
+			qs.downGroups = append(qs.downGroups, downs)
+		}
+	}
+	return qs
+}
+
+func (qs *queueSampler) sample() {
+	for _, g := range qs.upGroups {
+		qs.up.Add(qs.stdv(g))
+	}
+	for _, g := range qs.downGroups {
+		qs.down.Add(qs.stdv(g))
+	}
+}
+
+func (qs *queueSampler) stdv(ports []*fabric.Port) float64 {
+	qs.scratch = qs.scratch[:0]
+	for _, p := range ports {
+		qs.scratch = append(qs.scratch, p.QueueLen())
+	}
+	return metrics.StdDevInt32(qs.scratch)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// fig6Topo is the paper's main symmetric Clos (Fig. 6): 4 spines, 16
+// leaves × 20 hosts, 40G core / 10G edge. At scale 0 it shrinks to
+// 4 spines, 4 leaves × 20 hosts — fewer leaves but the same 40G/10G rates
+// and the same 200G:160G edge subscription ratio, so per-receiver load at a
+// given core load matches the paper.
+func fig6Topo(scale float64) func() *topo.Topology {
+	leaves := lerpInt(8, 16, scale)
+	hosts := 20
+	return func() *topo.Topology {
+		return topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: 4, Leaves: leaves, HostsPerLeaf: hosts,
+			HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps,
+		})
+	}
+}
+
+// scaleOutTopo is Fig. 7's network: same core capacity from more, slower
+// switches — 16 spines, 16 leaves × 20 hosts, all links 10G. Scale 0:
+// 8 spines, 4 leaves × 10 hosts.
+func scaleOutTopo(scale float64) func() *topo.Topology {
+	spines := lerpInt(8, 16, scale)
+	leaves := lerpInt(4, 16, scale)
+	hosts := lerpInt(10, 20, scale)
+	return func() *topo.Topology {
+		return topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: spines, Leaves: leaves, HostsPerLeaf: hosts,
+			HostRate: 10 * units.Gbps, CoreRate: 10 * units.Gbps,
+		})
+	}
+}
+
+// oversubTopo builds Fig. 9's variants: `spines` spines, 16 leaves × 20
+// hosts, all 10G (spines=20 → 1:1, spines=12 → 5:3). Scaled down it keeps
+// the subscription ratio with 4 leaves.
+func oversubTopo(spines int, scale float64) func() *topo.Topology {
+	leaves := lerpInt(4, 16, scale)
+	hosts := lerpInt(10, 20, scale)
+	// Preserve the paper's hosts:spines subscription ratio when shrinking.
+	sp := int(float64(spines)*float64(hosts)/20 + 0.5)
+	return func() *topo.Topology {
+		return topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: sp, Leaves: leaves, HostsPerLeaf: hosts,
+			HostRate: 10 * units.Gbps, CoreRate: 10 * units.Gbps,
+		})
+	}
+}
+
+// vl2Topo is Fig. 10's three-stage VL2: 16 ToRs × 20 hosts at 1G, 8 Aggs,
+// 4 Ints, 10G core. Scale 0: 8 ToRs × 10 hosts, 4 Aggs, 2 Ints.
+func vl2Topo(scale float64) func() *topo.Topology {
+	tors := lerpInt(8, 16, scale)
+	hosts := lerpInt(10, 20, scale)
+	aggs := lerpInt(4, 8, scale)
+	ints := lerpInt(2, 4, scale)
+	return func() *topo.Topology {
+		return topo.VL2(topo.VL2Config{
+			ToRs: tors, Aggs: aggs, Ints: ints, HostsPerToR: hosts,
+			HostRate: 1 * units.Gbps, CoreRate: 10 * units.Gbps,
+		})
+	}
+}
+
+// heteroTopo is Fig. 13's imbalanced-striping fabric: 16 leaves × 48 hosts,
+// 16 spines, 10G everywhere, with two parallel links to each leaf's two
+// "near" spines. Scale 0: 6 leaves × 12 hosts, 6 spines.
+func heteroTopo(scale float64) func() *topo.Topology {
+	leaves := lerpInt(6, 16, scale)
+	spines := lerpInt(6, 16, scale)
+	hosts := lerpInt(12, 48, scale)
+	return func() *topo.Topology {
+		return topo.Heterogeneous(topo.HeterogeneousConfig{
+			Spines: spines, Leaves: leaves, HostsPerLeaf: hosts,
+			HostRate: 10 * units.Gbps, BaseRate: 10 * units.Gbps, ExtraLinks: 2,
+		})
+	}
+}
+
+// stdvTopo is the §3.2.3 queue-balance network (Fig. 2/3): 48 spines, 48
+// leaves × 48 hosts in the paper; scale 0 uses 8×8×12 at 10G throughout
+// (hosts must carry ≥ the offered core load).
+func stdvTopo(scale float64) func() *topo.Topology {
+	n := lerpInt(8, 48, scale)
+	hosts := lerpInt(12, 48, scale)
+	return func() *topo.Topology {
+		return topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: n, Leaves: n, HostsPerLeaf: hosts,
+			HostRate: 10 * units.Gbps, CoreRate: 10 * units.Gbps,
+		})
+	}
+}
+
+// table1Topo is Table 1's small Clos: 4 leaves × 8 hosts, 4 spines, 1G.
+func table1Topo() *topo.Topology {
+	return topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 4, Leaves: 4, HostsPerLeaf: 8,
+		HostRate: 1 * units.Gbps, CoreRate: 1 * units.Gbps,
+	})
+}

@@ -1,0 +1,42 @@
+package fabric
+
+import "drill/internal/topo"
+
+// PacketHandler consumes packets delivered to a host; the transport layer
+// implements it.
+type PacketHandler interface {
+	HandlePacket(h *Host, pkt *Packet)
+}
+
+// Host is an end host: a NIC queue into its leaf plus a packet handler.
+type Host struct {
+	net  *Network
+	ID   topo.NodeID
+	Leaf topo.NodeID
+	NIC  *Port
+
+	// Handler receives packets addressed to this host.
+	Handler PacketHandler
+}
+
+// Net returns the network the host is attached to.
+func (h *Host) Net() *Network { return h.net }
+
+// Send stamps addressing/telemetry fields on pkt and queues it on the NIC.
+// Src must be this host; Dst must be another host.
+func (h *Host) Send(pkt *Packet) {
+	pkt.Src = h.ID
+	pkt.SrcLeaf = h.Leaf
+	pkt.DstLeaf = h.net.Topo.LeafOf(pkt.Dst)
+	pkt.DstLeafIdx = int32(h.net.Topo.LeafIndex(pkt.DstLeaf))
+	pkt.Sent = h.net.Sim.Now()
+	pkt.Hops = 0
+	pkt.PathIdx = 0
+	if h.net.sendHook != nil {
+		h.net.sendHook.OnSend(h.net, h, pkt)
+	}
+	h.net.enqueue(h.NIC, pkt)
+}
+
+// NICBacklog reports packets waiting in (or being serialized onto) the NIC.
+func (h *Host) NICBacklog() int32 { return h.NIC.QueueLen() }

@@ -1,0 +1,160 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// TestConservationProperty drives random traffic through random small Clos
+// fabrics and checks packet conservation: every injected packet is either
+// delivered or accounted as a drop.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, spines, leaves, pkts uint8) bool {
+		sp := int(spines%3) + 2
+		lv := int(leaves%3) + 2
+		n := int(pkts)%200 + 1
+		tp := topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: sp, Leaves: lv, HostsPerLeaf: 2,
+			HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps})
+		s := sim.New(seed)
+		net := New(s, tp, Config{Balancer: randomLB{}, QueueCap: 8})
+		for _, h := range tp.Hosts {
+			net.Host(h).Handler = &sink{}
+		}
+		rng := s.Stream(1)
+		injected := 0
+		for i := 0; i < n; i++ {
+			src := tp.Hosts[rng.Intn(len(tp.Hosts))]
+			dst := tp.Hosts[rng.Intn(len(tp.Hosts))]
+			if src == dst {
+				continue
+			}
+			injected++
+			at := units.Time(rng.Intn(100)) * units.Microsecond
+			pkt := &Packet{FlowID: uint64(i), Hash: uint32(rng.Int31()),
+				Dst: dst, Size: units.ByteSize(rng.Intn(1400) + 100)}
+			host := net.Host(src)
+			s.At(at, func() { host.Send(pkt) })
+		}
+		s.Run()
+		return net.Delivered+net.Hops.TotalDrops() == int64(injected)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueuesDrainProperty: after traffic stops, every queue and every
+// visibility counter returns to exactly zero.
+func TestQueuesDrainProperty(t *testing.T) {
+	f := func(seed int64, pkts uint8) bool {
+		tp := topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: 3, Leaves: 3, HostsPerLeaf: 2,
+			HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps})
+		s := sim.New(seed)
+		net := New(s, tp, Config{Balancer: randomLB{}})
+		for _, h := range tp.Hosts {
+			net.Host(h).Handler = &sink{}
+		}
+		rng := s.Stream(2)
+		for i := 0; i < int(pkts); i++ {
+			src := tp.Hosts[rng.Intn(len(tp.Hosts))]
+			dst := tp.Hosts[(rng.Intn(len(tp.Hosts)-1)+1+int(src))%len(tp.Hosts)]
+			if src == dst {
+				continue
+			}
+			host := net.Host(src)
+			pkt := &Packet{FlowID: uint64(i), Hash: uint32(i), Dst: dst, Size: 1518}
+			host.Send(pkt)
+		}
+		s.Run()
+		for _, p := range net.Ports {
+			if p.QPkts != 0 || p.QBytes != 0 || p.VisPkts != 0 || p.VisBytes != 0 || p.visSkip != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMidRunFailureConservation: failing links mid-burst never loses
+// accounting — delivered + dropped == injected.
+func TestMidRunFailureConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		tp := topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: 3, Leaves: 3, HostsPerLeaf: 2,
+			HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps})
+		s := sim.New(seed)
+		net := New(s, tp, Config{Balancer: randomLB{}, RouteDelay: 5 * units.Microsecond})
+		for _, h := range tp.Hosts {
+			net.Host(h).Handler = &sink{}
+		}
+		rng := s.Stream(3)
+		const n = 300
+		for i := 0; i < n; i++ {
+			src := tp.Hosts[i%len(tp.Hosts)]
+			dst := tp.Hosts[(i+2)%len(tp.Hosts)]
+			at := units.Time(i) * 300 * units.Nanosecond
+			host := net.Host(src)
+			pkt := &Packet{FlowID: uint64(i), Hash: uint32(rng.Int31()), Dst: dst, Size: 1518}
+			s.At(at, func() { host.Send(pkt) })
+		}
+		// Fail two random core links mid-burst.
+		var core []topo.LinkID
+		for _, l := range tp.Links {
+			if tp.Nodes[l.A].Kind != topo.Host && tp.Nodes[l.B].Kind != topo.Host {
+				core = append(core, l.ID)
+			}
+		}
+		rng.Shuffle(len(core), func(i, j int) { core[i], core[j] = core[j], core[i] })
+		s.At(20*units.Microsecond, func() { net.FailLink(core[0], false) })
+		s.At(40*units.Microsecond, func() { net.FailLink(core[1], false) })
+		s.Run()
+		delivered := net.Delivered
+		dropped := net.Hops.TotalDrops()
+		// Some packets may be dropped for unreachability; all must be accounted.
+		return delivered+dropped == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVisibilityNeverExceedsWaiting: the visible occupancy is always a
+// subset of the true queue, never negative, for all schemes under load.
+func TestVisibilityNeverExceedsWaiting(t *testing.T) {
+	tp := topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 3,
+		HostRate: 10 * units.Gbps, CoreRate: 10 * units.Gbps})
+	s := sim.New(5)
+	net := New(s, tp, Config{Balancer: randomLB{}, QueueCap: 16})
+	for _, h := range tp.Hosts {
+		net.Host(h).Handler = &sink{}
+	}
+	for i := 0; i < 400; i++ {
+		src := tp.Hosts[i%3]
+		dst := tp.Hosts[3+(i%3)]
+		host := net.Host(src)
+		pkt := &Packet{FlowID: uint64(i), Hash: uint32(i * 7), Dst: dst, Size: 1518}
+		s.At(units.Time(i)*200*units.Nanosecond, func() { host.Send(pkt) })
+	}
+	violations := 0
+	for s.Pending() > 0 {
+		s.RunUntil(s.Now() + 500*units.Nanosecond)
+		for _, p := range net.Ports {
+			if p.VisPkts < 0 || p.VisBytes < 0 || p.VisPkts > p.QPkts {
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d visibility invariant violations", violations)
+	}
+}

@@ -1,0 +1,513 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"drill/internal/metrics"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Balancer decides, per packet, which output port a switch forwards on.
+// Implementations must be deterministic given the engine's random stream.
+type Balancer interface {
+	Name() string
+	// Choose returns a Network port index for pkt among the groups toward
+	// pkt.DstLeafIdx. It is only called when there is a real choice (the
+	// packet is not at its destination leaf and is not source-routed).
+	Choose(net *Network, sw *Switch, eng *Engine, pkt *Packet) int32
+}
+
+// TableBuilder is implemented by balancers that install their own
+// forwarding groups (e.g. DRILL's symmetric-component decomposition).
+// Others get the default single-group-of-all-next-hops tables.
+type TableBuilder interface {
+	BuildTables(net *Network)
+}
+
+// TxObserver is notified when a packet begins transmission on a port; CONGA
+// uses it to update DREs and stamp congestion.
+type TxObserver interface {
+	OnTx(net *Network, port *Port, pkt *Packet)
+}
+
+// ArriveObserver is notified when a packet arrives at a switch, before
+// forwarding; CONGA uses it to harvest congestion feedback at leaves.
+type ArriveObserver interface {
+	OnArrive(net *Network, sw *Switch, pkt *Packet)
+}
+
+// SendHook is notified when a host hands a packet to its NIC; Presto uses
+// it to assign flowcell source routes.
+type SendHook interface {
+	OnSend(net *Network, host *Host, pkt *Packet)
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	Engines      int     // forwarding engines per switch (default 1)
+	QueueCap     int     // per-switch-port packet cap (default 128)
+	HostQueueCap int     // host NIC queue cap (default 4096)
+	VisFactor    float64 // visibility delay as a multiple of MTU serialization (default 1)
+	MTU          units.ByteSize
+	RouteDelay   units.Time // control-plane reconvergence delay after failures
+
+	// ECNThreshold, when > 0, marks packets (ECN CE) that enqueue behind at
+	// least that many packets — the switch half of DCTCP. An extension: the
+	// paper's §4 cites ECN-based incast mitigations as the alternative that
+	// DRILL competes with.
+	ECNThreshold int
+
+	Balancer Balancer
+}
+
+func (c *Config) defaults() {
+	if c.Engines == 0 {
+		c.Engines = 1
+	}
+	if c.QueueCap == 0 {
+		// ≈390KB per port at full MTU — the per-port slice of a
+		// shared-buffer datacenter ASIC. Shallow enough that microbursts
+		// overflow under load-oblivious balancing (the loss behaviour the
+		// paper's Fig. 14(c) reports) while leaving room for the queueing
+		// contrast of Fig. 6(c).
+		c.QueueCap = 256
+	}
+	if c.HostQueueCap == 0 {
+		c.HostQueueCap = 4096
+	}
+	if c.VisFactor == 0 {
+		// A packet becomes visible to engines once its enqueue completes;
+		// the write itself is a small fraction of MTU serialization (§3.2.1
+		// models imprecise-but-fresh counters, not stale ones). Larger
+		// values model slower counter paths — see the ablvis experiment.
+		c.VisFactor = 0.05
+	}
+	if c.MTU == 0 {
+		c.MTU = 1518
+	}
+	if c.RouteDelay == 0 {
+		c.RouteDelay = 1 * units.Millisecond
+	}
+}
+
+// Network binds a topology, routing state, and a balancer into a running
+// data plane on a simulator.
+type Network struct {
+	Sim    *sim.Sim
+	Topo   *topo.Topology
+	Routes *topo.Routes
+	Cfg    Config
+
+	Ports    []*Port // indexed by Port.Index; one per directed channel
+	chanPort []int32 // channel ID → port index
+
+	Switches map[topo.NodeID]*Switch
+	hosts    map[topo.NodeID]*Host
+
+	Hops metrics.HopStats
+
+	// Delivered counts packets handed to destination hosts.
+	Delivered int64
+
+	balancer  Balancer
+	txObs     TxObserver
+	arriveObs ArriveObserver
+	sendHook  SendHook
+}
+
+// New assembles a network over t with the given balancer. Routes are
+// computed from the topology's current (link up/down) state.
+func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
+	cfg.defaults()
+	if cfg.Balancer == nil {
+		panic("fabric: Config.Balancer is required")
+	}
+	n := &Network{
+		Sim:      s,
+		Topo:     t,
+		Cfg:      cfg,
+		Switches: make(map[topo.NodeID]*Switch),
+		hosts:    make(map[topo.NodeID]*Host),
+		balancer: cfg.Balancer,
+	}
+	n.txObs, _ = cfg.Balancer.(TxObserver)
+	n.arriveObs, _ = cfg.Balancer.(ArriveObserver)
+	n.sendHook, _ = cfg.Balancer.(SendHook)
+
+	// One port per directed channel.
+	n.chanPort = make([]int32, 2*len(t.Links))
+	for i := range n.chanPort {
+		n.chanPort[i] = -1
+	}
+	for _, l := range t.Links {
+		for dir := 0; dir < 2; dir++ {
+			c := t.Chan(topo.ChanID(2*int32(l.ID) + int32(dir)))
+			p := &Port{
+				Index: int32(len(n.Ports)),
+				Chan:  c.ID, From: c.From, To: c.To,
+				Rate: c.Rate, Prop: c.Prop,
+				Hop: classifyHop(t, c),
+				Cap: cfg.QueueCap,
+				up:  l.Up,
+			}
+			if t.Nodes[c.From].Kind == topo.Host {
+				p.Cap = cfg.HostQueueCap
+			}
+			p.visDelay = units.Time(float64(units.TxTime(cfg.MTU, c.Rate)) * cfg.VisFactor)
+			n.chanPort[c.ID] = p.Index
+			n.Ports = append(n.Ports, p)
+		}
+	}
+
+	// Switches.
+	for _, nd := range t.Nodes {
+		if nd.Kind == topo.Host {
+			continue
+		}
+		sw := &Switch{
+			Node: nd.ID, Kind: nd.Kind,
+			hostPort: map[topo.NodeID]int32{},
+			inIndex:  map[topo.ChanID]int{},
+			chanPort: map[topo.ChanID]int32{},
+		}
+		for _, cid := range t.OutAll(nd.ID) {
+			pi := n.chanPort[cid]
+			sw.OutPorts = append(sw.OutPorts, pi)
+			sw.chanPort[cid] = pi
+			c := t.Chan(cid)
+			if t.Nodes[c.To].Kind == topo.Host {
+				sw.hostPort[c.To] = pi
+			}
+			// The reverse channel arrives here; index it for engine sharding.
+			sw.inIndex[cid^1] = len(sw.inIndex)
+		}
+		for e := 0; e < cfg.Engines; e++ {
+			sw.engines = append(sw.engines, &Engine{
+				Index: e,
+				Rng:   s.Stream(int64(nd.ID)*1000 + int64(e) + 7919),
+			})
+		}
+		n.Switches[nd.ID] = sw
+	}
+
+	// Hosts.
+	for _, h := range t.Hosts {
+		var nic *Port
+		for _, cid := range t.OutAll(h) {
+			nic = n.Ports[n.chanPort[cid]]
+		}
+		if nic == nil {
+			panic(fmt.Sprintf("fabric: host %d has no NIC link", h))
+		}
+		n.hosts[h] = &Host{net: n, ID: h, Leaf: t.LeafOf(h), NIC: nic}
+	}
+
+	n.Reconverge()
+	return n
+}
+
+// Host returns the host entity for node id.
+func (n *Network) Host(id topo.NodeID) *Host { return n.hosts[id] }
+
+// PortOfChan returns the port carrying directed channel c.
+func (n *Network) PortOfChan(c topo.ChanID) *Port { return n.Ports[n.chanPort[c]] }
+
+// Balancer returns the active load-balancing policy.
+func (n *Network) Balancer() Balancer { return n.balancer }
+
+// Reconverge recomputes routing from the topology's current link state and
+// rebuilds forwarding tables — the control-plane (OSPF+ECMP) step. It is
+// invoked at construction and after the RouteDelay following a failure.
+func (n *Network) Reconverge() {
+	n.Routes = topo.ComputeRoutes(n.Topo)
+	if tb, ok := n.balancer.(TableBuilder); ok {
+		tb.BuildTables(n)
+	} else {
+		n.BuildDefaultTables()
+	}
+}
+
+// BuildDefaultTables installs, at every switch and for every destination
+// leaf, a single group containing all equal-cost next hops — classic ECMP
+// tables, which Random/RR/DRILL-symmetric share.
+func (n *Network) BuildDefaultTables() {
+	for _, sw := range n.Switches {
+		tables := make([][]Group, len(n.Topo.Leaves))
+		ded := newGroupDeduper()
+		for li, leaf := range n.Topo.Leaves {
+			if sw.Node == leaf {
+				continue
+			}
+			hops := n.Routes.NextHops(sw.Node, leaf)
+			if len(hops) == 0 {
+				continue // unreachable (partitioned by failures)
+			}
+			ports := make([]int32, len(hops))
+			for i, c := range hops {
+				ports[i] = n.chanPort[c]
+			}
+			sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+			tables[li] = []Group{{ID: ded.id(ports), Ports: ports, Weight: 1}}
+		}
+		sw.tables = tables
+		sw.groupCount = ded.count
+		sw.resetEngineState()
+	}
+}
+
+// InstallTables lets a TableBuilder install custom groups at a switch.
+// Groups' IDs are assigned by port-set identity via the returned deduper.
+func (n *Network) InstallTables(sw *Switch, tables [][]Group, groupCount int32) {
+	sw.tables = tables
+	sw.groupCount = groupCount
+	sw.resetEngineState()
+}
+
+// groupDeduper assigns dense IDs to unique port sets within one switch.
+type groupDeduper struct {
+	ids   map[string]int32
+	count int32
+}
+
+func newGroupDeduper() *groupDeduper { return &groupDeduper{ids: map[string]int32{}} }
+
+// NewGroupDeduper is the exported constructor for table builders.
+func NewGroupDeduper() *groupDeduper { return newGroupDeduper() }
+
+// Count reports how many unique groups have been assigned.
+func (d *groupDeduper) Count() int32 { return d.count }
+
+// ID assigns/returns the dense ID for a sorted port set.
+func (d *groupDeduper) ID(ports []int32) int32 { return d.id(ports) }
+
+func (d *groupDeduper) id(ports []int32) int32 {
+	key := make([]byte, 0, 4*len(ports))
+	for _, p := range ports {
+		key = append(key, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	k := string(key)
+	if id, ok := d.ids[k]; ok {
+		return id
+	}
+	id := d.count
+	d.ids[k] = id
+	d.count++
+	return id
+}
+
+// FailLink takes a link out of service mid-run: both directions stop
+// transmitting, queued packets are lost, and the control plane reconverges
+// after Cfg.RouteDelay (use ReconvergeNow for the idealized variant).
+func (n *Network) FailLink(id topo.LinkID, instantReconverge bool) {
+	n.Topo.FailLink(id)
+	for dir := int32(0); dir < 2; dir++ {
+		p := n.Ports[n.chanPort[2*int32(id)+dir]]
+		p.up = false
+		// If a packet is mid-transmission its txDone event is in flight;
+		// that event drops it and drains the rest. Otherwise drain now.
+		if !p.busy {
+			n.drainPort(p)
+		}
+	}
+	if instantReconverge {
+		n.Reconverge()
+	} else {
+		n.Sim.After(n.Cfg.RouteDelay, n.Reconverge)
+	}
+}
+
+// classifyHop buckets a channel for per-hop telemetry.
+func classifyHop(t *topo.Topology, c topo.Chan) metrics.HopClass {
+	from, to := t.Nodes[c.From].Kind, t.Nodes[c.To].Kind
+	switch {
+	case from == topo.Host:
+		return metrics.HostUp
+	case to == topo.Host:
+		return metrics.Hop3
+	case from == topo.Leaf:
+		return metrics.Hop1
+	case to == topo.Leaf:
+		return metrics.Hop2
+	case from == topo.Agg && to == topo.Core:
+		return metrics.Up2
+	default:
+		return metrics.Down2
+	}
+}
+
+// --- data plane ---
+
+// enqueue places pkt on port p at the current time, dropping on overflow.
+func (n *Network) enqueue(p *Port, pkt *Packet) {
+	if !p.up {
+		p.Drops++
+		n.Hops.RecordDrop(p.Hop)
+		return
+	}
+	if p.Cap > 0 && int(p.QPkts) >= p.Cap {
+		p.Drops++
+		n.Hops.RecordDrop(p.Hop)
+		return
+	}
+	pkt.enqAt = n.Sim.Now()
+	if n.Cfg.ECNThreshold > 0 && int(p.QPkts) >= n.Cfg.ECNThreshold {
+		pkt.ECNCE = true
+	}
+	p.pushQueue(pkt)
+	p.QPkts++
+	p.QBytes += int64(pkt.Size)
+	size := pkt.Size
+	if p.visDelay <= 0 {
+		p.applyVisibility(size)
+	} else {
+		n.Sim.After(p.visDelay, func() { p.applyVisibility(size) })
+	}
+	if !p.busy {
+		n.transmit(p)
+	}
+}
+
+// transmit serializes the head-of-line packet onto the link.
+func (n *Network) transmit(p *Port) {
+	pkt := p.queue[p.head] // head stays queued while in service
+	p.busy = true
+	wait := n.Sim.Now() - pkt.enqAt
+	n.Hops.RecordQueueing(p.Hop, wait)
+	pkt.HopWaitNs[p.Hop] += int32(wait)
+	// The head leaves the waiting queue as it starts onto the wire.
+	p.departVisibility(pkt.Size)
+	txT := units.TxTime(pkt.Size, p.Rate)
+	if n.txObs != nil {
+		n.txObs.OnTx(n, p, pkt)
+	}
+	n.Sim.After(txT, func() { n.txDone(p) })
+}
+
+func (n *Network) txDone(p *Port) {
+	pkt := p.popQueue()
+	p.QPkts--
+	p.QBytes -= int64(pkt.Size)
+	p.TxPackets++
+	p.TxBytes += int64(pkt.Size)
+	p.busy = false
+	if p.up {
+		to := p.To
+		in := p.Chan
+		n.Sim.After(p.Prop, func() { n.arrive(pkt, to, in) })
+		if !p.queueEmpty() {
+			n.transmit(p)
+		}
+		return
+	}
+	// Link died mid-flight: the packet is lost, and so is anything queued.
+	p.Drops++
+	n.Hops.RecordDrop(p.Hop)
+	n.drainPort(p)
+}
+
+// drainPort discards all waiting packets of a failed port.
+func (n *Network) drainPort(p *Port) {
+	for !p.queueEmpty() {
+		pkt := p.popQueue()
+		p.QPkts--
+		p.QBytes -= int64(pkt.Size)
+		p.departVisibility(pkt.Size)
+		p.Drops++
+		n.Hops.RecordDrop(p.Hop)
+	}
+}
+
+// arrive delivers a packet at node `at` having entered via channel `in`.
+func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
+	if h, ok := n.hosts[at]; ok {
+		n.Delivered++
+		if h.Handler != nil {
+			h.Handler.HandlePacket(h, pkt)
+		}
+		return
+	}
+	sw := n.Switches[at]
+	pkt.Hops++
+	if pkt.Hops > MaxHops {
+		panic(fmt.Sprintf("fabric: packet exceeded %d hops (routing loop?) flow=%d at=%s",
+			MaxHops, pkt.FlowID, n.Topo.Nodes[at].Name))
+	}
+	if n.arriveObs != nil {
+		n.arriveObs.OnArrive(n, sw, pkt)
+	}
+	n.forward(sw, sw.engineFor(in), pkt)
+}
+
+// forward routes pkt out of sw.
+func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
+	// Local delivery.
+	if sw.Node == pkt.DstLeaf {
+		if pi, ok := sw.hostPort[pkt.Dst]; ok {
+			n.enqueue(n.Ports[pi], pkt)
+			return
+		}
+	}
+	// Source route (Presto).
+	if pkt.Path != nil && int(pkt.PathIdx) < len(pkt.Path) {
+		cid := pkt.Path[pkt.PathIdx]
+		if pi, ok := sw.chanPort[cid]; ok {
+			pkt.PathIdx++
+			p := n.Ports[pi]
+			if p.up {
+				n.enqueue(p, pkt)
+				return
+			}
+			// Path broken: fall back to table forwarding below.
+		}
+	}
+	groups := sw.tables[pkt.DstLeafIdx]
+	if len(groups) == 0 {
+		// Destination unreachable from here (mid-failure window): drop.
+		n.Hops.RecordDrop(metrics.Hop1)
+		return
+	}
+	var port int32
+	if len(groups) == 1 && len(groups[0].Ports) == 1 {
+		port = groups[0].Ports[0]
+	} else {
+		port = n.balancer.Choose(n, sw, eng, pkt)
+	}
+	n.enqueue(n.Ports[port], pkt)
+}
+
+// --- experiment helpers ---
+
+// LeafUplinks returns the leaf's output ports toward the fabric (non-host).
+func (n *Network) LeafUplinks(leaf topo.NodeID) []*Port {
+	sw := n.Switches[leaf]
+	var out []*Port
+	for _, pi := range sw.OutPorts {
+		p := n.Ports[pi]
+		if n.Topo.Nodes[p.To].Kind != topo.Host && p.up {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DownlinksTo returns, across all top-tier switches adjacent to leaf, the
+// output ports pointing down at it (the "spine downlink" queue set of
+// §3.2.3's metric).
+func (n *Network) DownlinksTo(leaf topo.NodeID) []*Port {
+	var out []*Port
+	for _, sw := range n.Switches {
+		if sw.Node == leaf {
+			continue
+		}
+		for _, pi := range sw.OutPorts {
+			p := n.Ports[pi]
+			if p.To == leaf && p.up {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

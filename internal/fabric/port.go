@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"drill/internal/metrics"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Port is one directed output channel: the FIFO queue feeding a link
+// direction, plus the delayed-visibility occupancy counters forwarding
+// engines consult (§3.2.1: "the queue length does not include the packets
+// that are just entering the queue until after they are being fully
+// enqueued").
+//
+// True occupancy (QPkts/QBytes) counts packets from enqueue until their
+// transmission completes; it is what the buffer cap limits and what the
+// queue-length sampler reports. Visible occupancy (VisPkts/VisBytes) is the
+// load signal engines compare: it lags enqueue by the port's visibility
+// delay, and it counts only *waiting* packets — the head being read out of
+// buffer memory onto the wire no longer occupies the queue an arriving
+// packet must wait behind. (Counting the in-service packet makes every
+// placement evict the flow's next packet to a different port, a
+// self-displacement artifact that manufactures reordering the hardware
+// does not exhibit.) Because the visibility delay is constant per port,
+// visibility events fire in FIFO order and the skip-counter reconciliation
+// below is exact.
+type Port struct {
+	Index    int32 // position in Network.Ports
+	Chan     topo.ChanID
+	From, To topo.NodeID
+	Rate     units.Rate
+	Prop     units.Time
+	Hop      metrics.HopClass
+
+	Cap int // max queued packets (waiting + in service); 0 = unbounded
+
+	queue []*Packet
+	head  int // index of the first queued packet (amortized pop)
+
+	QPkts  int32
+	QBytes int64
+
+	VisPkts  int32
+	VisBytes int64
+	visSkip  int32 // departures that outran their visibility event
+
+	visDelay units.Time
+	busy     bool
+	up       bool
+
+	// Counters.
+	TxPackets int64
+	TxBytes   int64
+	Drops     int64
+}
+
+// Up reports whether the underlying link direction is in service.
+func (p *Port) Up() bool { return p.up }
+
+// QueueLen reports true occupancy in packets (waiting + in service).
+func (p *Port) QueueLen() int32 { return p.QPkts }
+
+// VisibleBytes reports the occupancy in bytes as a forwarding engine sees
+// it — the load signal DRILL compares.
+func (p *Port) VisibleBytes() int64 { return p.VisBytes }
+
+func (p *Port) pushQueue(pkt *Packet) {
+	p.queue = append(p.queue, pkt)
+}
+
+func (p *Port) popQueue() *Packet {
+	pkt := p.queue[p.head]
+	p.queue[p.head] = nil
+	p.head++
+	if p.head > 64 && p.head*2 >= len(p.queue) {
+		n := copy(p.queue, p.queue[p.head:])
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
+	return pkt
+}
+
+func (p *Port) queueEmpty() bool { return p.head == len(p.queue) }
+
+// applyVisibility is the deferred counter update scheduled at enqueue time.
+func (p *Port) applyVisibility(size units.ByteSize) {
+	if p.visSkip > 0 {
+		p.visSkip--
+		return
+	}
+	p.VisPkts++
+	p.VisBytes += int64(size)
+}
+
+// departVisibility reconciles the visible counters when a packet finishes
+// transmission, possibly before its visibility event fired.
+func (p *Port) departVisibility(size units.ByteSize) {
+	if p.VisPkts > 0 {
+		p.VisPkts--
+		p.VisBytes -= int64(size)
+		return
+	}
+	p.visSkip++
+}

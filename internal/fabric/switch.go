@@ -1,0 +1,123 @@
+package fabric
+
+import (
+	"math/rand"
+
+	"drill/internal/topo"
+)
+
+// Group is one symmetric set of equal-cost output ports toward a
+// destination, with a weight proportional to its aggregate capacity. In a
+// symmetric fabric every destination has exactly one group; the Quiver
+// decomposition of §3.4 produces several after failures or with
+// heterogeneous links.
+type Group struct {
+	// ID identifies the unique port set within the switch; engines key their
+	// per-group state (DRILL memory, RR cursors) on it so state is shared
+	// across destinations that use the same physical ports.
+	ID     int32
+	Ports  []int32 // Network port indexes, sorted
+	Weight uint32  // relative share of flows hashed to this group
+}
+
+// Engine is one forwarding engine of a switch. Engines make parallel,
+// independent decisions; each keeps private per-group scheduler state.
+type Engine struct {
+	Index int
+	Rng   *rand.Rand
+
+	// state[groupID] holds the balancer's per-engine scheduler state for
+	// that port set (e.g. a DRILL selector or an RR cursor). The slice is
+	// sized to the switch's unique-group count at table-build time.
+	state []any
+}
+
+// State returns the engine's scheduler state for group gid, creating it via
+// mk on first use.
+func (e *Engine) State(gid int32, mk func() any) any {
+	if e.state[gid] == nil {
+		e.state[gid] = mk()
+	}
+	return e.state[gid]
+}
+
+// Switch is a fabric switch: a set of output ports, per-destination
+// forwarding groups, and parallel forwarding engines.
+type Switch struct {
+	Node topo.NodeID
+	Kind topo.NodeKind
+
+	OutPorts []int32 // Network port indexes of this switch's output ports
+
+	// hostPort maps a locally attached host to the port serving it.
+	hostPort map[topo.NodeID]int32
+
+	// tables[dstLeafIdx] lists the groups toward that leaf (nil for the
+	// switch's own leaf index — local delivery uses hostPort).
+	tables [][]Group
+
+	// groupCount is the number of unique port-set groups in tables.
+	groupCount int32
+
+	engines []*Engine
+
+	// inIndex maps an arriving channel to a dense input index used to shard
+	// packets across engines.
+	inIndex map[topo.ChanID]int
+
+	// chanPort maps this switch's outgoing channel IDs to port indexes
+	// (used by source-routed schemes).
+	chanPort map[topo.ChanID]int32
+}
+
+// Engines returns the switch's forwarding engines.
+func (s *Switch) Engines() []*Engine { return s.engines }
+
+// Groups returns the forwarding groups toward dstLeafIdx.
+func (s *Switch) Groups(dstLeafIdx int32) []Group { return s.tables[dstLeafIdx] }
+
+// GroupCount returns the number of unique port-set groups at this switch.
+func (s *Switch) GroupCount() int32 { return s.groupCount }
+
+// engineFor shards an arriving packet to an engine by its input channel,
+// modelling per-line-card forwarding engines.
+func (s *Switch) engineFor(in topo.ChanID) *Engine {
+	if len(s.engines) == 1 {
+		return s.engines[0]
+	}
+	idx, ok := s.inIndex[in]
+	if !ok {
+		idx = int(in)
+	}
+	return s.engines[idx%len(s.engines)]
+}
+
+// GroupForFlow picks a group by flow hash, honoring weights — the "flow
+// classification" step of §3.4.2. It requires at least one group.
+func GroupForFlow(groups []Group, hash uint32) *Group {
+	if len(groups) == 1 {
+		return &groups[0]
+	}
+	var total uint32
+	for i := range groups {
+		total += groups[i].Weight
+	}
+	// Independent re-hash so group choice is decorrelated from port choice.
+	h := hash*2654435761 + 0x9747b28c
+	x := h % total
+	for i := range groups {
+		if x < groups[i].Weight {
+			return &groups[i]
+		}
+		x -= groups[i].Weight
+	}
+	return &groups[len(groups)-1]
+}
+
+// resetEngineState clears all engines' per-group scheduler state; called
+// whenever tables are rebuilt (group IDs may have changed meaning).
+func (s *Switch) resetEngineState() {
+	for _, e := range s.engines {
+		e.state = make([]any, s.groupCount)
+	}
+}

@@ -1,0 +1,194 @@
+package gro
+
+import (
+	"testing"
+
+	"drill/internal/units"
+)
+
+// fakeClock runs callbacks manually.
+type fakeClock struct {
+	now    units.Time
+	timers []struct {
+		at units.Time
+		fn func()
+	}
+}
+
+func (c *fakeClock) Now() units.Time { return c.now }
+func (c *fakeClock) After(d units.Time, fn func()) {
+	c.timers = append(c.timers, struct {
+		at units.Time
+		fn func()
+	}{c.now + d, fn})
+}
+
+func (c *fakeClock) advance(to units.Time) {
+	c.now = to
+	for i := range c.timers {
+		tm := c.timers[i]
+		if tm.fn != nil && tm.at <= to {
+			c.timers[i].fn = nil
+			tm.fn()
+		}
+	}
+}
+
+func seg(seq int64, l int32) Segment { return Segment{Seq: seq, Len: l} }
+
+func collect(out *[]int64) func(Segment) {
+	return func(s Segment) { *out = append(*out, s.Seq) }
+}
+
+func TestReordererInOrderPassThrough(t *testing.T) {
+	var got []int64
+	c := &fakeClock{}
+	r := NewReorderer(c, 100, collect(&got))
+	for i := int64(0); i < 5; i++ {
+		r.Push(seg(i*100, 100))
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if r.Held() != 0 || r.Flushes != 0 {
+		t.Fatalf("held=%d flushes=%d", r.Held(), r.Flushes)
+	}
+}
+
+func TestReordererRestoresOrder(t *testing.T) {
+	var got []int64
+	c := &fakeClock{}
+	r := NewReorderer(c, 100, collect(&got))
+	r.Push(seg(0, 100))
+	r.Push(seg(200, 100)) // gap at 100
+	r.Push(seg(300, 100))
+	if len(got) != 1 {
+		t.Fatalf("delivered early: %v", got)
+	}
+	r.Push(seg(100, 100)) // gap fills
+	want := []int64{0, 100, 200, 300}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if r.Expected() != 400 {
+		t.Fatalf("expected = %d", r.Expected())
+	}
+}
+
+func TestReordererTimeoutFlush(t *testing.T) {
+	var got []int64
+	c := &fakeClock{}
+	r := NewReorderer(c, 50, collect(&got))
+	r.Push(seg(0, 100))
+	r.Push(seg(300, 100))
+	r.Push(seg(200, 100))
+	c.advance(49)
+	if len(got) != 1 {
+		t.Fatalf("flushed early: %v", got)
+	}
+	c.advance(50)
+	// Flushed in order despite the hole at 100.
+	want := []int64{0, 200, 300}
+	if len(got) != 3 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if r.Flushes != 1 {
+		t.Fatalf("flushes = %d", r.Flushes)
+	}
+	// Late retransmission of the hole is still delivered (as a duplicate
+	// below Expected? no — 100 < expected 400, delivered for dup-ACK).
+	r.Push(seg(100, 100))
+	if len(got) != 4 || got[3] != 100 {
+		t.Fatalf("late fill not delivered: %v", got)
+	}
+}
+
+func TestReordererDuplicatesPassThrough(t *testing.T) {
+	var got []int64
+	c := &fakeClock{}
+	r := NewReorderer(c, 100, collect(&got))
+	r.Push(seg(0, 100))
+	r.Push(seg(0, 100)) // spurious retransmission
+	if len(got) != 2 {
+		t.Fatalf("duplicate swallowed: %v", got)
+	}
+	// Buffered duplicate is dropped (only one copy kept).
+	r.Push(seg(200, 100))
+	r.Push(seg(200, 100))
+	if r.Held() != 1 {
+		t.Fatalf("held = %d, want 1", r.Held())
+	}
+}
+
+func TestReordererZeroTimeoutDisabled(t *testing.T) {
+	var got []int64
+	c := &fakeClock{}
+	r := NewReorderer(c, 0, collect(&got))
+	r.Push(seg(200, 100))
+	r.Push(seg(0, 100))
+	if len(got) != 2 || got[0] != 200 {
+		t.Fatalf("pass-through broken: %v", got)
+	}
+}
+
+func TestReordererTimerRearmsAfterProgress(t *testing.T) {
+	var got []int64
+	c := &fakeClock{}
+	r := NewReorderer(c, 50, collect(&got))
+	r.Push(seg(100, 100)) // hole at 0
+	c.advance(30)
+	r.Push(seg(0, 100)) // fills; drains both
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	r.Push(seg(300, 100)) // new hole at 200
+	c.advance(60)         // old timer (armed at 0, due 50) must not flush the new hole early
+	if r.Flushes != 0 && len(got) != 2 {
+		t.Fatalf("stale timer flushed: flushes=%d got=%v", r.Flushes, got)
+	}
+	c.advance(80) // new timer due at 30+? — armed at push time 30? no: at 60. due 110.
+	c.advance(110)
+	if len(got) != 3 {
+		t.Fatalf("timeout flush missing: %v", got)
+	}
+}
+
+func TestBatcherInOrder(t *testing.T) {
+	b := NewBatcher()
+	// 100 in-order 1460B segments: 64KiB threshold → ceil(146000/65536)=3 batches.
+	for i := 0; i < 100; i++ {
+		b.Push(int64(i)*1460, 1460)
+	}
+	b.Close()
+	if b.Segments != 100 {
+		t.Fatalf("segments = %d", b.Segments)
+	}
+	want := int64(3)
+	if b.Batches != want {
+		t.Fatalf("batches = %d, want %d", b.Batches, want)
+	}
+}
+
+func TestBatcherReorderingIncreasesBatches(t *testing.T) {
+	inOrder := NewBatcher()
+	for i := 0; i < 40; i++ {
+		inOrder.Push(int64(i)*1460, 1460)
+	}
+	inOrder.Close()
+
+	reordered := NewBatcher()
+	for i := 0; i < 40; i += 2 { // swap every pair
+		reordered.Push(int64(i+1)*1460, 1460)
+		reordered.Push(int64(i)*1460, 1460)
+	}
+	reordered.Close()
+	if reordered.Batches <= inOrder.Batches {
+		t.Fatalf("reordering should increase batches: %d vs %d",
+			reordered.Batches, inOrder.Batches)
+	}
+}

@@ -1,0 +1,74 @@
+package lb
+
+import (
+	"drill/internal/fabric"
+	"drill/internal/units"
+)
+
+// LetFlow (Vanini et al., NSDI 2017) is the contemporaneous flowlet-based
+// balancer the DRILL paper's related work discusses: like CONGA it switches
+// paths only at flowlet boundaries, but it picks the new path uniformly at
+// random, relying on the elasticity of flowlet sizes rather than congestion
+// feedback. Included as an extension baseline: it sits between Presto
+// (finer, oblivious) and CONGA (flowlets, feedback) in the design space.
+type LetFlow struct {
+	// Gap is the idle time that opens a new flowlet (default 500µs).
+	Gap units.Time
+
+	flowlets map[letKey]*letEntry
+}
+
+type letKey struct {
+	sw   int32
+	flow uint64
+}
+
+type letEntry struct {
+	port int32
+	last units.Time
+}
+
+// NewLetFlow returns LetFlow with the standard 500µs flowlet gap.
+func NewLetFlow() *LetFlow {
+	return &LetFlow{Gap: 500 * units.Microsecond, flowlets: map[letKey]*letEntry{}}
+}
+
+// Name implements fabric.Balancer.
+func (l *LetFlow) Name() string { return "LetFlow" }
+
+// Choose implements fabric.Balancer.
+func (l *LetFlow) Choose(net *fabric.Network, sw *fabric.Switch, eng *fabric.Engine, pkt *fabric.Packet) int32 {
+	g := fabric.GroupForFlow(sw.Groups(pkt.DstLeafIdx), pkt.Hash)
+	// Flowlet decisions only where there is a real spread (source leaf and
+	// any switch with >1 candidate).
+	key := letKey{sw: int32(sw.Node), flow: pkt.FlowID}
+	now := net.Sim.Now()
+	if e := l.flowlets[key]; e != nil && now-e.last < l.Gap && net.Ports[e.port].Up() {
+		e.last = now
+		return e.port
+	}
+	port := g.Ports[eng.Rng.Intn(len(g.Ports))]
+	l.flowlets[key] = &letEntry{port: port, last: now}
+	return port
+}
+
+// Compile-time interface checks for every balancer in the package.
+var (
+	_ fabric.Balancer       = ECMP{}
+	_ fabric.Balancer       = Random{}
+	_ fabric.Balancer       = RoundRobin{}
+	_ fabric.Balancer       = (*DRILL)(nil)
+	_ fabric.Balancer       = (*DRILLAsym)(nil)
+	_ fabric.TableBuilder   = (*DRILLAsym)(nil)
+	_ fabric.Balancer       = (*PerFlowDRILL)(nil)
+	_ fabric.Balancer       = WCMP{}
+	_ fabric.TableBuilder   = WCMP{}
+	_ fabric.Balancer       = (*Presto)(nil)
+	_ fabric.TableBuilder   = (*Presto)(nil)
+	_ fabric.SendHook       = (*Presto)(nil)
+	_ fabric.Balancer       = (*CONGA)(nil)
+	_ fabric.TableBuilder   = (*CONGA)(nil)
+	_ fabric.TxObserver     = (*CONGA)(nil)
+	_ fabric.ArriveObserver = (*CONGA)(nil)
+	_ fabric.Balancer       = (*LetFlow)(nil)
+)

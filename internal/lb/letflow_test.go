@@ -1,0 +1,79 @@
+package lb
+
+import (
+	"testing"
+
+	"drill/internal/fabric"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/transport"
+	"drill/internal/units"
+)
+
+func TestLetFlowSticksWithinGap(t *testing.T) {
+	tp := smallClos()
+	s := sim.New(1)
+	l := NewLetFlow()
+	n := fabric.New(s, tp, fabric.Config{Balancer: l})
+	sw := n.Switches[tp.Leaves[0]]
+	eng := sw.Engines()[0]
+	mk := func() *fabric.Packet {
+		return &fabric.Packet{FlowID: 8, Hash: 44, Kind: fabric.Data, DstLeafIdx: 1}
+	}
+	first := l.Choose(n, sw, eng, mk())
+	for i := 0; i < 20; i++ {
+		s.RunUntil(s.Now() + 20*units.Microsecond)
+		if got := l.Choose(n, sw, eng, mk()); got != first {
+			t.Fatal("LetFlow moved a flowlet within the gap")
+		}
+	}
+	// After the gap the flowlet may move; over many gaps it must.
+	moved := false
+	for i := 0; i < 64 && !moved; i++ {
+		s.RunUntil(s.Now() + 2*l.Gap)
+		if l.Choose(n, sw, eng, mk()) != first {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("LetFlow never re-rolled across 64 flowlet gaps (3 ports)")
+	}
+}
+
+func TestLetFlowCompletesFlows(t *testing.T) {
+	tp := smallClos()
+	s := sim.New(5)
+	n := fabric.New(s, tp, fabric.Config{Balancer: NewLetFlow()})
+	r := transport.NewRegistry(s, n, transport.Config{})
+	var flows []*transport.Sender
+	for i := 0; i < 6; i++ {
+		flows = append(flows, r.StartFlow(tp.Hosts[i%3], tp.Hosts[3+i%6], 60*1460, ""))
+	}
+	s.Run()
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("LetFlow flow %d incomplete", i)
+		}
+	}
+	// Flowlet granularity: no reordering expected at light load.
+	if frac := r.Stats.DupAcks.FracAtLeast(3); frac > 0.2 {
+		t.Fatalf("LetFlow heavy reordering at light load: %.2f", frac)
+	}
+}
+
+func TestLetFlowAvoidsDownPorts(t *testing.T) {
+	tp := smallClos()
+	s := sim.New(1)
+	l := NewLetFlow()
+	n := fabric.New(s, tp, fabric.Config{Balancer: l})
+	sw := n.Switches[tp.Leaves[0]]
+	eng := sw.Engines()[0]
+	pkt := &fabric.Packet{FlowID: 9, Hash: 45, Kind: fabric.Data, DstLeafIdx: 1}
+	first := l.Choose(n, sw, eng, pkt)
+	// Fail the chosen port's link; the pinned flowlet must move.
+	n.FailLink(topo.LinkID(n.Ports[first].Chan/2), true)
+	got := l.Choose(n, sw, eng, pkt)
+	if got == first {
+		t.Fatal("LetFlow kept a failed port")
+	}
+}

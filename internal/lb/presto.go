@@ -1,0 +1,138 @@
+package lb
+
+import (
+	"sort"
+
+	"drill/internal/fabric"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Presto (He et al., SIGCOMM'15) moves load balancing to the sending edge:
+// flows are chopped into 64KB flowcells, and each flowcell is source-routed
+// round-robin across all shortest paths — fine-grained but load-oblivious.
+// After failures the affected paths are pruned and the remainder is used
+// with static capacity-proportional weights (WCMP-style), per §3.4's
+// description of Presto's failover. The receiver-side shim that restores
+// flowcell order is modelled by the transport layer's ShimTimeout.
+//
+// ACKs and any packet whose source route broke mid-failure fall back to
+// ECMP over the default tables.
+type Presto struct {
+	// CellSize is the flowcell payload size (default 64KiB).
+	CellSize units.ByteSize
+
+	// paths[src][dst] is the weight-expanded path list between leaf indexes.
+	paths [][][]prestoPath
+
+	flows map[uint64]*prestoFlow
+}
+
+type prestoPath struct {
+	chans []topo.ChanID
+}
+
+type prestoFlow struct {
+	offset uint32
+}
+
+// NewPresto returns Presto with 64KiB flowcells.
+func NewPresto() *Presto {
+	return &Presto{CellSize: 64 * units.KiB, flows: map[uint64]*prestoFlow{}}
+}
+
+// Name implements fabric.Balancer.
+func (p *Presto) Name() string { return "Presto" }
+
+// BuildTables implements fabric.TableBuilder: default (ECMP) tables for
+// non-source-routed traffic plus the per-leaf-pair weighted path lists.
+func (p *Presto) BuildTables(net *fabric.Network) {
+	net.BuildDefaultTables()
+	nl := len(net.Topo.Leaves)
+	p.paths = make([][][]prestoPath, nl)
+	for si, src := range net.Topo.Leaves {
+		p.paths[si] = make([][]prestoPath, nl)
+		for di, dst := range net.Topo.Leaves {
+			if si == di {
+				continue
+			}
+			raw := net.Routes.Paths(src, dst)
+			if len(raw) == 0 {
+				continue
+			}
+			// Weight = bottleneck capacity, normalized; expand multiplicity.
+			caps := make([]units.Rate, len(raw))
+			var g int64
+			for i, path := range raw {
+				var b units.Rate
+				for _, cid := range path {
+					r := net.Topo.Chan(cid).Rate
+					if b == 0 || r < b {
+						b = r
+					}
+				}
+				caps[i] = b
+				g = gcd64(g, int64(b))
+			}
+			if g == 0 {
+				g = 1
+			}
+			var list []prestoPath
+			for i, path := range raw {
+				w := int(int64(caps[i]) / g)
+				if w == 0 {
+					w = 1
+				}
+				for k := 0; k < w; k++ {
+					list = append(list, prestoPath{chans: path})
+				}
+			}
+			// Deterministic order for reproducibility.
+			sort.Slice(list, func(a, b int) bool {
+				x, y := list[a].chans, list[b].chans
+				for i := 0; i < len(x) && i < len(y); i++ {
+					if x[i] != y[i] {
+						return x[i] < y[i]
+					}
+				}
+				return len(x) < len(y)
+			})
+			p.paths[si][di] = list
+		}
+	}
+}
+
+// OnSend implements fabric.SendHook: assign the packet's flowcell to a
+// source route. The per-flow random offset decorrelates flows; consecutive
+// cells of one flow rotate round-robin, striping the flow across all paths.
+func (p *Presto) OnSend(net *fabric.Network, host *fabric.Host, pkt *fabric.Packet) {
+	if pkt.Kind != fabric.Data {
+		return
+	}
+	si := net.Topo.LeafIndex(pkt.SrcLeaf)
+	di := int(pkt.DstLeafIdx)
+	if si == di {
+		return // same-leaf traffic has no path choice
+	}
+	list := p.paths[si][di]
+	if len(list) == 0 {
+		return
+	}
+	f := p.flows[pkt.FlowID]
+	if f == nil {
+		f = &prestoFlow{offset: pkt.Hash}
+		p.flows[pkt.FlowID] = f
+	}
+	cell := int32(pkt.Seq / int64(p.CellSize))
+	pkt.CellSeq = cell
+	path := list[(uint32(cell)+f.offset)%uint32(len(list))]
+	pkt.Path = path.chans
+	pkt.PathIdx = 0
+}
+
+// Choose implements fabric.Balancer: only reached by ACKs and packets whose
+// source route was pruned by a failure — ECMP semantics.
+func (p *Presto) Choose(net *fabric.Network, sw *fabric.Switch, eng *fabric.Engine, pkt *fabric.Packet) int32 {
+	g := fabric.GroupForFlow(sw.Groups(pkt.DstLeafIdx), pkt.Hash)
+	return g.Ports[pkt.Hash%uint32(len(g.Ports))]
+}

@@ -1,0 +1,309 @@
+// Package metrics provides the measurement primitives the DRILL evaluation
+// reports: exact-percentile sample distributions (flow completion times),
+// queue-length standard deviations sampled on microsecond timescales,
+// per-hop queueing/loss accounting, and small integer histograms
+// (duplicate-ACK counts, GRO batch counts).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drill/internal/units"
+)
+
+// Dist collects float64 samples and answers exact order statistics.
+// The zero value is ready to use.
+type Dist struct {
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// Add appends a sample.
+func (d *Dist) Add(v float64) {
+	d.vals = append(d.vals, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// AddDist merges all samples of o into d.
+func (d *Dist) AddDist(o *Dist) {
+	d.vals = append(d.vals, o.vals...)
+	d.sorted = false
+	d.sum += o.sum
+}
+
+// Count reports the number of samples.
+func (d *Dist) Count() int { return len(d.vals) }
+
+// Mean reports the sample mean, or 0 with no samples.
+func (d *Dist) Mean() float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.vals))
+}
+
+func (d *Dist) sort() {
+	if !d.sorted {
+		sort.Float64s(d.vals)
+		d.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 with no samples.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	d.sort()
+	rank := int(math.Ceil(p/100*float64(len(d.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(d.vals) {
+		rank = len(d.vals) - 1
+	}
+	return d.vals[rank]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (d *Dist) Max() float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	d.sort()
+	return d.vals[len(d.vals)-1]
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (d *Dist) Min() float64 {
+	if len(d.vals) == 0 {
+		return 0
+	}
+	d.sort()
+	return d.vals[0]
+}
+
+// StdDev reports the population standard deviation of the samples.
+func (d *Dist) StdDev() float64 {
+	n := len(d.vals)
+	if n == 0 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.vals {
+		dv := v - mean
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // sample value
+	F float64 // cumulative fraction in (0, 1]
+}
+
+// CDF returns up to maxPoints evenly spaced points of the empirical CDF.
+func (d *Dist) CDF(maxPoints int) []CDFPoint {
+	n := len(d.vals)
+	if n == 0 {
+		return nil
+	}
+	d.sort()
+	if maxPoints <= 0 || maxPoints > n {
+		maxPoints = n
+	}
+	pts := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		idx := (i + 1) * n / maxPoints
+		pts = append(pts, CDFPoint{X: d.vals[idx-1], F: float64(idx) / float64(n)})
+	}
+	return pts
+}
+
+// StdDevInt32 computes the population standard deviation of raw int32
+// observations — the queue-length STDV metric of §3.2.3 — without
+// allocating.
+func StdDevInt32(xs []int32) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += int64(x)
+	}
+	mean := float64(sum) / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Welford accumulates a running mean without storing samples; used for
+// metrics sampled millions of times (queue-STDV time series).
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count reports the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean reports the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev reports the running population standard deviation.
+func (w *Welford) StdDev() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// HopClass buckets a directed channel by its position in the fabric, for
+// the per-hop queueing and loss breakdowns of Figures 6(c) and 14(c).
+type HopClass uint8
+
+// Hop classes. HostUp is the sender NIC. In a 2-stage Clos, Hop1 is the
+// leaf's upward port, Hop2 the spine's downward port, Hop3 the leaf-to-host
+// port. Up2/Down2 appear only in 3-stage fabrics (leaf→agg counts as Hop1,
+// agg→core as Up2, core→agg as Down2, agg→leaf as Hop2).
+const (
+	HostUp HopClass = iota
+	Hop1            // leaf upward to spine/agg
+	Up2             // agg upward to core
+	Down2           // core downward to agg
+	Hop2            // spine/agg downward to leaf
+	Hop3            // leaf to host
+	NumHopClasses
+)
+
+func (h HopClass) String() string {
+	switch h {
+	case HostUp:
+		return "host-nic"
+	case Hop1:
+		return "hop1-up"
+	case Up2:
+		return "hop-up2"
+	case Down2:
+		return "hop-down2"
+	case Hop2:
+		return "hop2-down"
+	case Hop3:
+		return "hop3-host"
+	}
+	return fmt.Sprintf("hop(%d)", uint8(h))
+}
+
+// HopStats accumulates queueing delay, arrivals and drops per hop class.
+type HopStats struct {
+	QueueingNs [NumHopClasses]float64 // total queueing time
+	Packets    [NumHopClasses]int64   // packets transmitted
+	Drops      [NumHopClasses]int64   // packets dropped at enqueue
+}
+
+// RecordQueueing adds one packet's time-in-queue at a hop.
+func (h *HopStats) RecordQueueing(c HopClass, d units.Time) {
+	h.QueueingNs[c] += float64(d)
+	h.Packets[c]++
+}
+
+// RecordDrop counts a drop at a hop.
+func (h *HopStats) RecordDrop(c HopClass) { h.Drops[c]++ }
+
+// MeanQueueing reports the mean queueing delay at a hop in microseconds.
+func (h *HopStats) MeanQueueing(c HopClass) float64 {
+	if h.Packets[c] == 0 {
+		return 0
+	}
+	return h.QueueingNs[c] / float64(h.Packets[c]) / 1000
+}
+
+// LossRate reports drops/(drops+delivered) at a hop, as a percentage.
+func (h *HopStats) LossRate(c HopClass) float64 {
+	tot := h.Drops[c] + h.Packets[c]
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(h.Drops[c]) / float64(tot)
+}
+
+// TotalDrops sums drops across hop classes.
+func (h *HopStats) TotalDrops() int64 {
+	var n int64
+	for _, d := range h.Drops {
+		n += d
+	}
+	return n
+}
+
+// IntHist is a histogram over small non-negative integers (duplicate-ACK
+// counts per flow, GRO batch sizes).
+type IntHist struct {
+	counts []int64
+	total  int64
+}
+
+// Add counts one observation of value v (clamped at 0).
+func (h *IntHist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Count reports the number of observations.
+func (h *IntHist) Count() int64 { return h.total }
+
+// FracAtLeast reports the fraction of observations with value >= v.
+func (h *IntHist) FracAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n int64
+	for i := v; i < len(h.counts); i++ {
+		n += h.counts[i]
+	}
+	return float64(n) / float64(h.total)
+}
+
+// FracExactly reports the fraction of observations equal to v.
+func (h *IntHist) FracExactly(v int) float64 {
+	if h.total == 0 || v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Max reports the largest observed value.
+func (h *IntHist) Max() int {
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}

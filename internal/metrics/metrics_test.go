@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"drill/internal/units"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Percentile(50) != 0 || d.Count() != 0 {
+		t.Fatal("zero Dist should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		d.Add(v)
+	}
+	if d.Mean() != 3 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Errorf("min/max = %v/%v", d.Min(), d.Max())
+	}
+	if got := d.Percentile(50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := d.Percentile(1); got != 1 {
+		t.Errorf("p1 = %v", got)
+	}
+}
+
+func TestDistPercentileProperty(t *testing.T) {
+	// Percentiles are monotone in p and bounded by min/max.
+	f := func(raw []float64, a, b uint8) bool {
+		var d Dist
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				d.Add(v)
+			}
+		}
+		if d.Count() == 0 {
+			return true
+		}
+		p1 := float64(a%100) + 0.5
+		p2 := float64(b%100) + 0.5
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := d.Percentile(p1), d.Percentile(p2)
+		return v1 <= v2 && v1 >= d.Min() && v2 <= d.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistAddAfterSort(t *testing.T) {
+	var d Dist
+	d.Add(10)
+	_ = d.Percentile(50) // forces sort
+	d.Add(1)
+	if got := d.Min(); got != 1 {
+		t.Errorf("min after post-sort add = %v, want 1", got)
+	}
+}
+
+func TestAddDist(t *testing.T) {
+	var a, b Dist
+	a.Add(1)
+	a.Add(2)
+	b.Add(3)
+	a.AddDist(&b)
+	if a.Count() != 3 || a.Mean() != 2 {
+		t.Errorf("merged count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	pts := d.CDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("cdf points = %d", len(pts))
+	}
+	if pts[9].F != 1.0 || pts[9].X != 100 {
+		t.Errorf("last point = %+v", pts[9])
+	}
+	if pts[0].X != 10 || pts[0].F != 0.1 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+			t.Errorf("cdf not monotone at %d: %+v", i, pts[i])
+		}
+	}
+	if got := d.CDF(1000); len(got) != 100 {
+		t.Errorf("oversampled cdf = %d points, want 100", len(got))
+	}
+}
+
+func TestStdDevInt32(t *testing.T) {
+	if got := StdDevInt32(nil); got != 0 {
+		t.Errorf("empty stddev = %v", got)
+	}
+	if got := StdDevInt32([]int32{5, 5, 5}); got != 0 {
+		t.Errorf("uniform stddev = %v", got)
+	}
+	got := StdDevInt32([]int32{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+}
+
+func TestWelfordMatchesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var d Dist
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*3 + 10
+		d.Add(v)
+		w.Add(v)
+	}
+	if math.Abs(d.Mean()-w.Mean()) > 1e-9 {
+		t.Errorf("means differ: %v vs %v", d.Mean(), w.Mean())
+	}
+	if math.Abs(d.StdDev()-w.StdDev()) > 1e-9 {
+		t.Errorf("stddevs differ: %v vs %v", d.StdDev(), w.StdDev())
+	}
+}
+
+func TestHopStats(t *testing.T) {
+	var h HopStats
+	h.RecordQueueing(Hop1, 10*units.Microsecond)
+	h.RecordQueueing(Hop1, 30*units.Microsecond)
+	h.RecordDrop(Hop1)
+	if got := h.MeanQueueing(Hop1); got != 20 {
+		t.Errorf("mean queueing = %v us, want 20", got)
+	}
+	if got := h.LossRate(Hop1); math.Abs(got-100.0/3) > 1e-9 {
+		t.Errorf("loss rate = %v", got)
+	}
+	if h.MeanQueueing(Hop2) != 0 || h.LossRate(Hop2) != 0 {
+		t.Error("untouched hop should be zero")
+	}
+	if h.TotalDrops() != 1 {
+		t.Errorf("total drops = %d", h.TotalDrops())
+	}
+}
+
+func TestIntHist(t *testing.T) {
+	var h IntHist
+	for _, v := range []int{0, 0, 0, 1, 3, 3, 10} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.FracExactly(0); math.Abs(got-3.0/7) > 1e-12 {
+		t.Errorf("frac(0) = %v", got)
+	}
+	if got := h.FracAtLeast(3); math.Abs(got-3.0/7) > 1e-12 {
+		t.Errorf("frac>=3 = %v", got)
+	}
+	if got := h.FracAtLeast(11); got != 0 {
+		t.Errorf("frac>=11 = %v", got)
+	}
+	if h.Max() != 10 {
+		t.Errorf("max = %d", h.Max())
+	}
+	h.Add(-5) // clamps to 0
+	if got := h.FracExactly(0); math.Abs(got-4.0/8) > 1e-12 {
+		t.Errorf("frac(0) after clamp = %v", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// With 10,000 samples 0..9999, p99.99 must be the 9999th value.
+	var d Dist
+	vals := rand.New(rand.NewSource(2)).Perm(10000)
+	for _, v := range vals {
+		d.Add(float64(v))
+	}
+	if got := d.Percentile(99.99); got != 9998 {
+		t.Errorf("p99.99 = %v, want 9998", got)
+	}
+	sorted := make([]int, len(vals))
+	copy(sorted, vals)
+	sort.Ints(sorted)
+	if got := d.Percentile(50); got != float64(sorted[4999]) {
+		t.Errorf("p50 = %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package queueing is the standalone M×N switch model behind §3.2.4's
+// stability results: M forwarding engines feed N FIFO output queues in
+// discrete time slots, each engine placing its arrivals with DRILL(d,m).
+// It demonstrates Theorem 1 — pure random sampling DRILL(d,0) is unstable
+// for admissible traffic with heterogeneous service rates — and Theorem 2 —
+// DRILL(1,1) (and any m ≥ 1) is stable with 100% throughput — and measures
+// the Lyapunov drift the proof bounds.
+package queueing
+
+import (
+	"math/rand"
+
+	"drill/internal/core"
+)
+
+// Switch is an M-engine, N-output-queue combined input/output queued
+// switch in slotted time. Engines decide in parallel: within one slot all
+// engines observe the queue lengths of the slot's start (the imprecise-
+// counter behaviour of §3.2.1).
+type Switch struct {
+	M, N int
+
+	// Arrival[i] is engine i's per-slot packet arrival probability.
+	Arrival []float64
+	// Service[j] is queue j's per-slot departure probability. May be
+	// changed between slots (time-varying service).
+	Service []float64
+
+	queues    []int64
+	snapshot  []int64
+	selectors []*core.Selector
+	rng       *rand.Rand
+
+	// Slots counts elapsed time slots.
+	Slots int64
+	// TotalArrived and TotalServed count packets.
+	TotalArrived, TotalServed int64
+}
+
+// New builds a switch with every engine running DRILL(d,m). Arrival and
+// service vectors are copied.
+func New(m, n, d, mem int, arrival, service []float64, seed int64) *Switch {
+	if len(arrival) != m || len(service) != n {
+		panic("queueing: dimension mismatch")
+	}
+	s := &Switch{
+		M: m, N: n,
+		Arrival:  append([]float64(nil), arrival...),
+		Service:  append([]float64(nil), service...),
+		queues:   make([]int64, n),
+		snapshot: make([]int64, n),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < m; i++ {
+		s.selectors = append(s.selectors,
+			core.NewSelector(d, mem, rand.New(rand.NewSource(seed+int64(i)*101+1))))
+	}
+	return s
+}
+
+// Admissible reports whether total arrival rate < total service rate.
+func (s *Switch) Admissible() bool {
+	var a, mu float64
+	for _, x := range s.Arrival {
+		a += x
+	}
+	for _, x := range s.Service {
+		mu += x
+	}
+	return a < mu
+}
+
+// Queues returns the current queue lengths (shared slice; do not mutate).
+func (s *Switch) Queues() []int64 { return s.queues }
+
+// TotalQueue returns the number of queued packets.
+func (s *Switch) TotalQueue() int64 {
+	var t int64
+	for _, q := range s.queues {
+		t += q
+	}
+	return t
+}
+
+// Step advances one slot: parallel engine placements against the slot-start
+// snapshot, then services.
+func (s *Switch) Step() {
+	copy(s.snapshot, s.queues)
+	for i := 0; i < s.M; i++ {
+		if s.rng.Float64() >= s.Arrival[i] {
+			continue
+		}
+		j := s.selectors[i].Pick(s.N, func(q int) int64 { return s.snapshot[q] })
+		s.queues[j]++
+		s.TotalArrived++
+	}
+	for j := 0; j < s.N; j++ {
+		if s.queues[j] > 0 && s.rng.Float64() < s.Service[j] {
+			s.queues[j]--
+			s.TotalServed++
+		}
+	}
+	s.Slots++
+}
+
+// Run advances the given number of slots.
+func (s *Switch) Run(slots int) {
+	for i := 0; i < slots; i++ {
+		s.Step()
+	}
+}
+
+// Lyapunov evaluates the proof's potential function
+// V(n) = Σ_k (q_k − q*)² + 2 Σ_k q_k, with q* the shortest queue.
+func (s *Switch) Lyapunov() float64 {
+	min := s.queues[0]
+	for _, q := range s.queues[1:] {
+		if q < min {
+			min = q
+		}
+	}
+	var v float64
+	for _, q := range s.queues {
+		d := float64(q - min)
+		v += d*d + 2*float64(q)
+	}
+	return v
+}
+
+// Theorem1Rates constructs the adversarial-but-admissible rate vectors from
+// Theorem 1's proof: one queue with almost all the service capacity. With
+// d < n samples, queue 0 can absorb at most a d/n fraction of arrivals
+// under DRILL(d,0), leaving the other queues overloaded.
+func Theorem1Rates(m, n int, load float64) (arrival, service []float64) {
+	arrival = make([]float64, m)
+	for i := range arrival {
+		arrival[i] = load
+	}
+	total := load * float64(m)
+	service = make([]float64, n)
+	// Queue 0 could serve nearly everything; the rest together serve only
+	// half of what random sampling must send their way.
+	rest := total * (1 - float64(1)/float64(n)) / 2 / float64(n-1)
+	for j := 1; j < n; j++ {
+		service[j] = min1(rest)
+	}
+	// Queue 0 gets 25% headroom so the memory-augmented policy that steers
+	// traffic there remains strictly stable. Callers must keep m·load ≤ 0.8
+	// so the cap below does not break admissibility.
+	service[0] = min1(total * 1.25)
+	return arrival, service
+}
+
+func min1(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,144 @@
+package queueing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTheorem1Construction(t *testing.T) {
+	arr, svc := Theorem1Rates(4, 8, 0.2)
+	s := New(4, 8, 1, 0, arr, svc, 1)
+	if !s.Admissible() {
+		t.Fatal("Theorem 1 rates must be admissible")
+	}
+}
+
+func TestTheorem1MemorylessUnstable(t *testing.T) {
+	// DRILL(1,0) under the Theorem 1 rates: total queue grows roughly
+	// linearly in time.
+	arr, svc := Theorem1Rates(4, 8, 0.2)
+	s := New(4, 8, 1, 0, arr, svc, 1)
+	s.Run(20000)
+	q1 := s.TotalQueue()
+	s.Run(20000)
+	q2 := s.TotalQueue()
+	if q1 < 500 {
+		t.Fatalf("queue after 20k slots = %d; expected unbounded growth", q1)
+	}
+	if q2 < q1+q1/2 {
+		t.Fatalf("growth stalled: %d -> %d", q1, q2)
+	}
+}
+
+func TestTheorem2MemoryStabilizes(t *testing.T) {
+	// DRILL(1,1) under the same adversarial rates stays bounded.
+	arr, svc := Theorem1Rates(4, 8, 0.2)
+	s := New(4, 8, 1, 1, arr, svc, 1)
+	s.Run(40000)
+	if q := s.TotalQueue(); q > 200 {
+		t.Fatalf("DRILL(1,1) queue = %d after 40k slots; expected bounded", q)
+	}
+	// Throughput ≈ arrival rate: served ≈ arrived − queued.
+	if s.TotalServed < s.TotalArrived-s.TotalQueue() {
+		t.Fatal("packet conservation violated")
+	}
+}
+
+func TestUniformLoadStableEvenMemoryless(t *testing.T) {
+	// Theorem 1's proof note: with equal service rates the memoryless
+	// argument does not apply; DRILL(d,0) is fine there.
+	arr := []float64{0.2, 0.2, 0.2, 0.2}
+	svc := []float64{0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15, 0.15}
+	s := New(4, 8, 2, 0, arr, svc, 3)
+	s.Run(40000)
+	if q := s.TotalQueue(); q > 200 {
+		t.Fatalf("uniform-rate DRILL(2,0) queue = %d; expected bounded", q)
+	}
+}
+
+func TestHighLoadThroughput(t *testing.T) {
+	// 95% uniform load, DRILL(2,1): served/arrived must approach 1, the
+	// 100%-throughput guarantee of Theorem 2.
+	m, n := 8, 8
+	arr := make([]float64, m)
+	svc := make([]float64, n)
+	for i := range arr {
+		arr[i] = 0.95
+	}
+	for j := range svc {
+		svc[j] = 1.0
+	}
+	s := New(m, n, 2, 1, arr, svc, 5)
+	s.Run(100000)
+	frac := float64(s.TotalServed) / float64(s.TotalArrived)
+	if frac < 0.99 {
+		t.Fatalf("throughput = %.4f of arrivals, want >= 0.99", frac)
+	}
+	if q := s.TotalQueue(); q > 500 {
+		t.Fatalf("queue = %d at 95%% load", q)
+	}
+}
+
+func TestTimeVaryingServiceRates(t *testing.T) {
+	// §3.2.4 emphasizes time-varying service (failures/recoveries): flip
+	// capacity between halves of the queues every 5k slots; DRILL(1,1)
+	// must remain bounded.
+	m, n := 4, 8
+	arr := []float64{0.15, 0.15, 0.15, 0.15}
+	svc := make([]float64, n)
+	s := New(m, n, 1, 1, arr, svc, 9)
+	phaseA := []float64{0.2, 0.2, 0.2, 0.2, 0.02, 0.02, 0.02, 0.02}
+	phaseB := []float64{0.02, 0.02, 0.02, 0.02, 0.2, 0.2, 0.2, 0.2}
+	for phase := 0; phase < 20; phase++ {
+		src := phaseA
+		if phase%2 == 1 {
+			src = phaseB
+		}
+		copy(s.Service, src)
+		s.Run(5000)
+	}
+	if q := s.TotalQueue(); q > 400 {
+		t.Fatalf("time-varying service: queue = %d", q)
+	}
+}
+
+func TestLyapunovDriftNegativeWhenLarge(t *testing.T) {
+	// The stability proof's essence: once V is large, the expected one-step
+	// drift is negative. Build a large-V state by running the unstable
+	// policy, then switch to DRILL(1,1) and watch V fall.
+	arr, svc := Theorem1Rates(4, 8, 0.2)
+	s := New(4, 8, 1, 0, arr, svc, 11)
+	s.Run(30000)
+	vHigh := s.Lyapunov()
+	// Swap policies by constructing a memory switch inheriting queues.
+	s2 := New(4, 8, 1, 1, arr, svc, 12)
+	copy(s2.queues, s.queues)
+	s2.Run(30000)
+	vLow := s2.Lyapunov()
+	if vLow >= vHigh/2 {
+		t.Fatalf("V did not contract: %.0f -> %.0f", vHigh, vLow)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(2, 4, 1, 1, []float64{0.1}, []float64{1, 1, 1, 1}, 1)
+}
+
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, loadPct uint8) bool {
+		load := float64(loadPct%60+10) / 100
+		arr := []float64{load / 2, load / 2}
+		svc := []float64{0.5, 0.5, 0.5, 0.5}
+		s := New(2, 4, 2, 1, arr, svc, seed)
+		s.Run(5000)
+		return s.TotalArrived-s.TotalServed == s.TotalQueue()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

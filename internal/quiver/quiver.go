@@ -1,0 +1,273 @@
+// Package quiver implements DRILL's control-plane handling of topological
+// asymmetry (§3.4): it builds the labeled multidigraph the paper calls the
+// Quiver, scores links by their label sets, and decomposes each switch's
+// shortest paths toward each destination into symmetric components —
+// maximal sets of paths with identical hop-by-hop label scores. The data
+// plane then hashes flows to a component (weighted by aggregate capacity)
+// and micro-load-balances only inside it, degrading gracefully from pure
+// DRILL (one component) to ECMP (every component a single path).
+package quiver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// CapFactor is the capacity factor cf(a,b,p) of §3.4.3 as an exact reduced
+// rational: the input rate of the path into a divided by the rate of (a,b).
+// The source vertex uses the infinity sentinel {1, 0}.
+type CapFactor struct {
+	Num, Den int64
+}
+
+// Infinity is the capacity factor at the path's source vertex.
+var Infinity = CapFactor{1, 0}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// NewCapFactor reduces in/out to lowest terms.
+func NewCapFactor(in, out units.Rate) CapFactor {
+	n, d := int64(in), int64(out)
+	g := gcd(n, d)
+	return CapFactor{n / g, d / g}
+}
+
+func (c CapFactor) String() string {
+	if c.Den == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d/%d", c.Num, c.Den)
+}
+
+// Label marks one use of a directed link: it lies on a shortest path from
+// leaf Src to leaf Dst with the given capacity factor (§3.4.1, §3.4.3).
+type Label struct {
+	Src, Dst topo.NodeID
+	CF       CapFactor
+}
+
+// Quiver is the labeled multidigraph: per directed channel, the set of
+// labels of shortest leaf-to-leaf paths traversing it, plus the hash score
+// used for fast path-symmetry checks.
+type Quiver struct {
+	routes *topo.Routes
+	labels map[topo.ChanID]map[Label]struct{}
+	scores map[topo.ChanID]uint64
+}
+
+// Build computes the Quiver for the routing snapshot: for every ordered
+// leaf pair and every shortest path between them, each traversed channel
+// gains a (src, dst, cf) label.
+func Build(r *topo.Routes) *Quiver {
+	t := r.Topo()
+	q := &Quiver{
+		routes: r,
+		labels: map[topo.ChanID]map[Label]struct{}{},
+		scores: map[topo.ChanID]uint64{},
+	}
+	for _, src := range t.Leaves {
+		for _, dst := range t.Leaves {
+			if src == dst {
+				continue
+			}
+			for _, path := range r.Paths(src, dst) {
+				// Bottleneck capacity from src up to (but excluding) each hop.
+				inCap := units.Rate(0) // 0 = no upstream yet (source vertex)
+				for _, cid := range path {
+					c := t.Chan(cid)
+					cf := Infinity
+					if inCap > 0 {
+						cf = NewCapFactor(inCap, c.Rate)
+					}
+					q.addLabel(cid, Label{Src: src, Dst: dst, CF: cf})
+					if inCap == 0 || c.Rate < inCap {
+						inCap = c.Rate
+					}
+				}
+			}
+		}
+	}
+	q.computeScores()
+	return q
+}
+
+func (q *Quiver) addLabel(c topo.ChanID, l Label) {
+	set := q.labels[c]
+	if set == nil {
+		set = map[Label]struct{}{}
+		q.labels[c] = set
+	}
+	set[l] = struct{}{}
+}
+
+// computeScores hashes each channel's sorted label set to a 64-bit score;
+// equal scores ⇔ equal label sets (modulo hash collisions, which the
+// 64-bit space makes negligible at datacenter scale).
+func (q *Quiver) computeScores() {
+	for c, set := range q.labels {
+		labels := make([]Label, 0, len(set))
+		for l := range set {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool {
+			a, b := labels[i], labels[j]
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			if a.Dst != b.Dst {
+				return a.Dst < b.Dst
+			}
+			if a.CF.Num != b.CF.Num {
+				return a.CF.Num < b.CF.Num
+			}
+			return a.CF.Den < b.CF.Den
+		})
+		h := fnv.New64a()
+		var buf [8]byte
+		put := func(v int64) {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		for _, l := range labels {
+			put(int64(l.Src))
+			put(int64(l.Dst))
+			put(l.CF.Num)
+			put(l.CF.Den)
+		}
+		q.scores[c] = h.Sum64()
+	}
+}
+
+// Score returns the label-set score of a channel (0 if the channel carries
+// no shortest-path traffic).
+func (q *Quiver) Score(c topo.ChanID) uint64 { return q.scores[c] }
+
+// Labels returns a copy of the channel's label set, for inspection.
+func (q *Quiver) Labels(c topo.ChanID) []Label {
+	var out []Label
+	for l := range q.labels[c] {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Symmetric reports whether two paths (channel sequences) are symmetric:
+// same hop count with pairwise equal link scores (§3.4.1's definition).
+func (q *Quiver) Symmetric(p1, p2 []topo.ChanID) bool {
+	if len(p1) != len(p2) {
+		return false
+	}
+	for i := range p1 {
+		if q.Score(p1[i]) != q.Score(p2[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Component is one symmetric path group from a switch toward a leaf.
+type Component struct {
+	Paths [][]topo.ChanID
+	// FirstHops are the distinct first channels of the component's paths —
+	// the ports the data plane micro-load-balances across.
+	FirstHops []topo.ChanID
+	// Capacity is the sum of the member paths' bottleneck capacities; the
+	// data-plane weight is proportional to it.
+	Capacity units.Rate
+	// Weight is Capacity normalized across the decomposition's components
+	// to small coprime integers.
+	Weight uint32
+}
+
+// Decompose partitions the shortest paths from node src toward leaf dst
+// into symmetric components and assigns capacity-proportional weights
+// (§3.4.1 step 2). It returns nil when src has no path to dst.
+func (q *Quiver) Decompose(src topo.NodeID, dst topo.NodeID) []Component {
+	t := q.routes.Topo()
+	paths := q.routes.Paths(src, dst)
+	if len(paths) == 0 || src == dst {
+		return nil
+	}
+	// Group paths by score vector.
+	byScore := map[string]*Component{}
+	var order []string
+	for _, p := range paths {
+		key := make([]byte, 0, 8*len(p))
+		for _, cid := range p {
+			s := q.Score(cid)
+			for i := 0; i < 8; i++ {
+				key = append(key, byte(s>>(8*i)))
+			}
+		}
+		k := string(key)
+		comp := byScore[k]
+		if comp == nil {
+			comp = &Component{}
+			byScore[k] = comp
+			order = append(order, k)
+		}
+		comp.Paths = append(comp.Paths, p)
+		comp.Capacity += pathCapacity(t, p)
+	}
+	comps := make([]Component, 0, len(byScore))
+	for _, k := range order {
+		c := byScore[k]
+		c.FirstHops = distinctFirstHops(c.Paths)
+		comps = append(comps, *c)
+	}
+	assignWeights(comps)
+	return comps
+}
+
+func pathCapacity(t *topo.Topology, p []topo.ChanID) units.Rate {
+	var capR units.Rate
+	for _, cid := range p {
+		r := t.Chan(cid).Rate
+		if capR == 0 || r < capR {
+			capR = r
+		}
+	}
+	return capR
+}
+
+func distinctFirstHops(paths [][]topo.ChanID) []topo.ChanID {
+	seen := map[topo.ChanID]bool{}
+	var out []topo.ChanID
+	for _, p := range paths {
+		if !seen[p[0]] {
+			seen[p[0]] = true
+			out = append(out, p[0])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// assignWeights scales component capacities down to small integers with
+// gcd 1, as a hardware WCMP-style table would store them.
+func assignWeights(comps []Component) {
+	var g int64
+	for i := range comps {
+		g = gcd(g, int64(comps[i].Capacity))
+	}
+	if g == 0 {
+		g = 1
+	}
+	for i := range comps {
+		comps[i].Weight = uint32(int64(comps[i].Capacity) / g)
+		if comps[i].Weight == 0 {
+			comps[i].Weight = 1
+		}
+	}
+}

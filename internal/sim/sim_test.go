@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"drill/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var trace []units.Time
+	s.At(10, func() {
+		trace = append(trace, s.Now())
+		s.After(5, func() { trace = append(trace, s.Now()) })
+		s.At(12, func() { trace = append(trace, s.Now()) })
+	})
+	s.Run()
+	want := []units.Time{10, 12, 15}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	fired := make(map[units.Time]bool)
+	for _, at := range []units.Time{5, 10, 15, 20} {
+		at := at
+		s.At(at, func() { fired[at] = true })
+	}
+	s.RunUntil(12)
+	if !fired[5] || !fired[10] || fired[15] {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 12 {
+		t.Fatalf("clock = %v, want 12", s.Now())
+	}
+	s.RunUntil(25)
+	if !fired[15] || !fired[20] {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 1; i <= 10; i++ {
+		s.At(units.Time(i), func() {
+			n++
+			if n == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events after halt, want 3", n)
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	// Property: any random multiset of times is dispatched in sorted order.
+	f := func(times []uint16) bool {
+		s := New(7)
+		var got []units.Time
+		for _, v := range times {
+			at := units.Time(v)
+			s.At(at, func() { got = append(got, at) })
+		}
+		s.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		s := New(42)
+		rng := s.Stream(3)
+		var got []int
+		var rec func()
+		n := 0
+		rec = func() {
+			got = append(got, rng.Intn(1000))
+			n++
+			if n < 50 {
+				s.After(units.Time(rng.Intn(100)+1), rec)
+			}
+		}
+		s.At(0, rec)
+		s.Run()
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	s := New(9)
+	a, b := s.Stream(1), s.Stream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Intn(1<<30) == b.Intn(1<<30) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams look correlated: %d/100 identical draws", same)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var ticks []units.Time
+	tick := NewTicker(s, 10, func(now units.Time) { ticks = append(ticks, now) })
+	s.RunUntil(55)
+	tick.Stop()
+	s.Run()
+	want := []units.Time{10, 20, 30, 40, 50}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tick *Ticker
+	tick = NewTicker(s, 5, func(units.Time) {
+		n++
+		if n == 2 {
+			tick.Stop()
+		}
+	})
+	s.RunUntil(100)
+	if n != 2 {
+		t.Fatalf("ticks after stop: n = %d, want 2", n)
+	}
+}
+
+func TestDaemonEventsDoNotBlockDrain(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	NewTicker(s, 5, func(units.Time) { ticks++ })
+	ran := false
+	s.At(12, func() { ran = true })
+	s.Run() // must terminate despite the self-rescheduling ticker
+	if !ran {
+		t.Fatal("regular event not dispatched")
+	}
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (at t=5,10 before last event at 12)", ticks)
+	}
+	if s.Now() != 12 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	s := New(1)
+	rng := rand.New(rand.NewSource(2))
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			s.After(units.Time(rng.Intn(50)+1), next)
+		}
+	}
+	b.ResetTimer()
+	s.At(0, next)
+	s.Run()
+}

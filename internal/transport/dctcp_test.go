@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"testing"
+
+	"drill/internal/fabric"
+	"drill/internal/lb"
+	"drill/internal/metrics"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// dctcpBed builds a fabric with ECN marking and DCTCP stacks.
+func dctcpBed(t *testing.T, dctcp bool, ecnK int) (*sim.Sim, *fabric.Network, *Registry, *topo.Topology) {
+	t.Helper()
+	tp := topo.LeafSpine(topo.LeafSpineConfig{Spines: 2, Leaves: 2, HostsPerLeaf: 4,
+		HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps})
+	s := sim.New(17)
+	n := fabric.New(s, tp, fabric.Config{Balancer: lb.NewDRILL(), ECNThreshold: ecnK})
+	r := NewRegistry(s, n, Config{DCTCP: dctcp})
+	return s, n, r, tp
+}
+
+func TestDCTCPFlowsComplete(t *testing.T) {
+	s, _, r, tp := dctcpBed(t, true, 24)
+	var flows []*Sender
+	for i := 0; i < 6; i++ {
+		flows = append(flows, r.StartFlow(tp.Hosts[i%4], tp.Hosts[4+i%4], 200*1460, ""))
+	}
+	s.Run()
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("DCTCP flow %d incomplete", i)
+		}
+	}
+}
+
+func TestDCTCPKeepsQueuesShorter(t *testing.T) {
+	// 4:1 fan-in onto one receiver: DCTCP + ECN must reduce last-hop
+	// queueing delay and drops relative to plain Reno on the same fabric.
+	run := func(dctcp bool, ecnK int) (float64, int64) {
+		s, n, r, tp := dctcpBed(t, dctcp, ecnK)
+		dst := tp.Hosts[4]
+		for _, src := range []int{0, 1, 2, 3} {
+			r.StartFlow(tp.Hosts[src], dst, 400*1460, "")
+		}
+		s.Run()
+		return n.Hops.MeanQueueing(metrics.Hop3), n.Hops.TotalDrops()
+	}
+	renoQ, renoDrops := run(false, 0)
+	dctcpQ, dctcpDrops := run(true, 24)
+	if dctcpQ >= renoQ {
+		t.Fatalf("DCTCP queueing %.2fus not below Reno %.2fus", dctcpQ, renoQ)
+	}
+	if dctcpDrops > renoDrops {
+		t.Fatalf("DCTCP drops %d exceed Reno %d", dctcpDrops, renoDrops)
+	}
+	t.Logf("hop3 queueing: reno=%.1fus dctcp=%.1fus; drops reno=%d dctcp=%d",
+		renoQ, dctcpQ, renoDrops, dctcpDrops)
+}
+
+func TestECNMarkingThreshold(t *testing.T) {
+	// Without ECNThreshold no packet is ever marked.
+	s, _, r, tp := dctcpBed(t, true, 0)
+	f := r.StartFlow(tp.Hosts[0], tp.Hosts[4], 100*1460, "")
+	s.Run()
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if f.dctcpAlpha != 0 {
+		t.Fatalf("alpha = %v with marking disabled", f.dctcpAlpha)
+	}
+}

@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"drill/internal/fabric"
+	"drill/internal/gro"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// simClock adapts the simulator to gro.Clock.
+type simClock struct{ reg *Registry }
+
+func (c simClock) Now() units.Time               { return c.reg.Sim.Now() }
+func (c simClock) After(d units.Time, fn func()) { c.reg.Sim.After(d, fn) }
+
+// Receiver is the TCP receive side of one flow: cumulative ACK generation
+// with immediate duplicate ACKs on out-of-order arrival (RFC 2581), plus
+// the optional reordering shim and the GRO batching model in front of it.
+type Receiver struct {
+	agent *Agent
+	id    uint64
+	hash  uint32
+	peer  topo.NodeID // the sender host
+	size  int64
+
+	rcvNxt    int64
+	sacked    []span // received-but-not-contiguous byte ranges, sorted
+	lastAck   int64
+	ackedOnce bool
+
+	dupAcks  int // duplicate ACKs this receiver generated
+	reported bool
+
+	// Wire-reorder accounting: a packet whose emission counter is below
+	// the maximum seen arrived out of emission order (retransmissions get
+	// fresh counters, so they only count if they genuinely overtake).
+	txMax      int32
+	inversions int
+	prevWaits  [6]int32
+	prevArrive units.Time
+
+	// lastDataTS echoes the send-timestamp of the packet that triggered the
+	// current ACK (per-packet echo → valid sender RTT samples, even for
+	// retransmitted or shim-delayed copies).
+	lastDataTS units.Time
+	// lastECN echoes the latest data packet's ECN CE mark back to the
+	// sender (DCTCP's per-packet accurate echo, simplified past the
+	// delayed-ACK state machine since this receiver ACKs every packet).
+	lastECN bool
+
+	shim    shimLayer    // nil when the shim is disabled
+	batcher *gro.Batcher // nil unless Cfg.TrackGRO
+}
+
+// shimLayer abstracts the fixed and adaptive reordering shims.
+type shimLayer interface {
+	Push(gro.Segment)
+	FlushCount() int64
+}
+
+type span struct{ lo, hi int64 }
+
+func newReceiver(a *Agent, first *fabric.Packet) *Receiver {
+	r := &Receiver{
+		agent: a, id: first.FlowID, hash: first.Hash,
+		peer: first.Src, size: first.AckNo,
+	}
+	cfg := a.reg.Cfg
+	if cfg.ShimTimeout > 0 {
+		if cfg.AdaptiveShim {
+			r.shim = gro.NewAdaptiveReorderer(simClock{a.reg},
+				cfg.ShimTimeout/4, cfg.ShimTimeout/10, cfg.ShimTimeout, r.tcpRx)
+		} else {
+			r.shim = gro.NewReorderer(simClock{a.reg}, cfg.ShimTimeout, r.tcpRx)
+		}
+	}
+	if cfg.TrackGRO {
+		r.batcher = gro.NewBatcher()
+	}
+	return r
+}
+
+// onData accepts one data packet off the wire.
+func (r *Receiver) onData(pkt *fabric.Packet) {
+	r.lastECN = pkt.ECNCE
+	if pkt.TxSeq < r.txMax {
+		r.inversions++
+		// Blame the hop where the late packet waited longest relative to
+		// the packet it arrived behind.
+		best, bestD := 0, int32(-1<<31)
+		for h := 0; h < 6; h++ {
+			if d := pkt.HopWaitNs[h] - r.prevWaits[h]; d > bestD {
+				bestD = d
+				best = h
+			}
+		}
+		r.agent.reg.Stats.InversionBlame[best]++
+	} else {
+		r.txMax = pkt.TxSeq
+	}
+	r.prevWaits = pkt.HopWaitNs
+	r.prevArrive = r.agent.reg.Sim.Now()
+	seg := gro.Segment{Seq: pkt.Seq, Len: pkt.Len, Payload: pkt.EchoTS}
+	if r.shim != nil {
+		r.shim.Push(seg)
+		return
+	}
+	r.tcpRx(seg)
+}
+
+// tcpRx is the TCP receive path proper (below it sits the shim, if any).
+func (r *Receiver) tcpRx(s gro.Segment) {
+	r.lastDataTS = s.Payload.(units.Time)
+	if r.batcher != nil {
+		r.batcher.Push(s.Seq, s.Len)
+	}
+	end := s.Seq + int64(s.Len)
+	switch {
+	case end <= r.rcvNxt:
+		// Old duplicate; re-ACK.
+	case s.Seq <= r.rcvNxt:
+		r.rcvNxt = end
+		r.mergeSacked()
+	default:
+		r.addSacked(span{s.Seq, end})
+	}
+	r.sendAck()
+	if r.size >= 0 && r.rcvNxt >= r.size {
+		r.close()
+	}
+}
+
+func (r *Receiver) addSacked(sp span) {
+	// Insert keeping order; coalesce overlaps.
+	out := r.sacked[:0]
+	inserted := false
+	for _, e := range r.sacked {
+		switch {
+		case e.hi < sp.lo:
+			out = append(out, e)
+		case sp.hi < e.lo:
+			if !inserted {
+				out = append(out, sp)
+				inserted = true
+			}
+			out = append(out, e)
+		default: // overlap: grow sp
+			if e.lo < sp.lo {
+				sp.lo = e.lo
+			}
+			if e.hi > sp.hi {
+				sp.hi = e.hi
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, sp)
+	}
+	r.sacked = out
+}
+
+func (r *Receiver) mergeSacked() {
+	i := 0
+	for i < len(r.sacked) && r.sacked[i].lo <= r.rcvNxt {
+		if r.sacked[i].hi > r.rcvNxt {
+			r.rcvNxt = r.sacked[i].hi
+		}
+		i++
+	}
+	r.sacked = append(r.sacked[:0], r.sacked[i:]...)
+}
+
+// sendAck emits a cumulative ACK; a non-advancing ACK while data is
+// outstanding is a duplicate ACK (the reordering signal of §3.3).
+func (r *Receiver) sendAck() {
+	if r.ackedOnce && r.rcvNxt == r.lastAck {
+		r.dupAcks++
+	}
+	r.lastAck = r.rcvNxt
+	r.ackedOnce = true
+	ack := &fabric.Packet{
+		FlowID: r.id, Hash: r.hash, Kind: fabric.Ack,
+		Dst:    r.peer,
+		Size:   fabric.AckBytes,
+		AckNo:  r.rcvNxt,
+		EchoTS: r.lastDataTS,
+		ECNCE:  r.lastECN,
+	}
+	r.agent.host.Send(ack)
+}
+
+func (r *Receiver) close() {
+	if r.reported {
+		return
+	}
+	r.reported = true
+	stats := &r.agent.reg.Stats
+	if r.agent.reg.Sim.Now() >= r.agent.reg.MeasureFrom {
+		stats.DupAcks.Add(r.dupAcks)
+		stats.WireReorders.Add(r.inversions)
+		if r.batcher != nil {
+			r.batcher.Close()
+			stats.GROBatches += r.batcher.Batches
+			stats.GROSegments += r.batcher.Segments
+		}
+		if r.shim != nil {
+			stats.ShimFlushes += r.shim.FlushCount()
+		}
+	}
+	delete(r.agent.receivers, r.id)
+}

@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"drill/internal/fabric"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Sender is one TCP NewReno sender. All state is driven by the simulator's
+// single thread; no locking.
+type Sender struct {
+	reg   *Registry
+	agent *Agent
+	id    uint64
+	hash  uint32
+	dst   topo.NodeID
+	size  int64 // bytes to transfer; < 0 = unbounded (elephant throughput)
+	class string
+
+	sndUna, sndNxt int64
+	cwnd           float64 // in segments
+	ssthresh       float64
+	dupacks        int
+	inRecovery     bool
+	recover        int64
+
+	srtt, rttvar units.Time
+	hasRTT       bool
+	rto          units.Time
+	backoff      int
+	timerGen     int
+	timerArmed   bool
+
+	start    units.Time
+	fct      units.Time
+	done     bool
+	measured bool
+	txSeq    int32 // emission counter for wire-reorder accounting
+
+	// DCTCP state (active when Cfg.DCTCP): per-window mark fraction α.
+	dctcpAlpha  float64
+	ackedInWin  int64
+	markedInWin int64
+	winEnd      int64
+
+	// Retransmits counts segments resent by this flow.
+	Retransmits int64
+}
+
+// ID returns the flow identifier.
+func (s *Sender) ID() uint64 { return s.id }
+
+// Class returns the flow's class tag.
+func (s *Sender) Class() string { return s.class }
+
+// Done reports whether the whole transfer has been acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// AckedBytes reports cumulatively acknowledged payload bytes.
+func (s *Sender) AckedBytes() int64 { return s.sndUna }
+
+// Start returns when the flow started.
+func (s *Sender) Start() units.Time { return s.start }
+
+// FCT returns the completion time (valid once Done).
+func (s *Sender) FCT() units.Time { return s.fct }
+
+func (s *Sender) segLen(seq int64) int32 {
+	mss := s.reg.Cfg.MSS
+	if s.size < 0 {
+		return mss
+	}
+	rem := s.size - seq
+	if rem >= int64(mss) {
+		return mss
+	}
+	return int32(rem)
+}
+
+func (s *Sender) inflightSegs() int {
+	mss := int64(s.reg.Cfg.MSS)
+	return int((s.sndNxt - s.sndUna + mss - 1) / mss)
+}
+
+// trySend transmits new segments while the window allows.
+func (s *Sender) trySend() {
+	if s.done {
+		return
+	}
+	for (s.size < 0 || s.sndNxt < s.size) && s.inflightSegs() < int(s.cwnd) {
+		l := s.segLen(s.sndNxt)
+		if l <= 0 {
+			break
+		}
+		s.emit(s.sndNxt, l)
+		s.sndNxt += int64(l)
+	}
+	if !s.timerArmed && s.sndNxt > s.sndUna {
+		s.armTimer()
+	}
+}
+
+// emit sends one segment covering [seq, seq+l).
+func (s *Sender) emit(seq int64, l int32) {
+	s.txSeq++
+	pkt := &fabric.Packet{
+		FlowID: s.id, Hash: s.hash, Kind: fabric.Data,
+		Dst:  s.dst,
+		Size: units.ByteSize(l) + fabric.HeaderBytes,
+		Seq:  seq, Len: l,
+		AckNo:  s.size, // data packets carry the flow size for the receiver
+		EchoTS: s.reg.Sim.Now(),
+		TxSeq:  s.txSeq,
+	}
+	s.agent.host.Send(pkt)
+}
+
+// onAck processes a cumulative acknowledgment.
+func (s *Sender) onAck(pkt *fabric.Packet) {
+	if s.done {
+		return
+	}
+	now := s.reg.Sim.Now()
+	// RTT sample from the echoed per-packet timestamp: valid even for
+	// retransmissions, since the echo identifies the copy that arrived.
+	s.sampleRTT(now - pkt.EchoTS)
+
+	if s.reg.Cfg.DCTCP {
+		s.dctcpOnAck(pkt)
+	}
+
+	ack := pkt.AckNo
+	switch {
+	case ack > s.sndUna:
+		s.newAck(ack)
+	case ack == s.sndUna && s.sndNxt > s.sndUna:
+		s.dupAck()
+	}
+	s.trySend()
+	if s.size >= 0 && s.sndUna >= s.size {
+		s.finish(now)
+	}
+}
+
+func (s *Sender) newAck(ack int64) {
+	mss := float64(s.reg.Cfg.MSS)
+	ackedSegs := float64(ack-s.sndUna) / mss
+	s.sndUna = ack
+	s.backoff = 0
+	if s.inRecovery {
+		if ack >= s.recover {
+			// Full acknowledgment: leave recovery, deflate.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.dupacks = 0
+		} else {
+			// Partial ack (NewReno): retransmit the next hole, deflate by
+			// the amount acked, inflate by one for the retransmission.
+			s.retransmit()
+			s.cwnd -= ackedSegs
+			if s.cwnd < 1 {
+				s.cwnd = 1
+			}
+			s.cwnd++
+		}
+	} else {
+		s.dupacks = 0
+		if s.cwnd < s.ssthresh {
+			s.cwnd += ackedSegs // slow start
+		} else {
+			s.cwnd += ackedSegs / s.cwnd // congestion avoidance
+		}
+		if s.cwnd > s.reg.Cfg.MaxCwnd {
+			s.cwnd = s.reg.Cfg.MaxCwnd
+		}
+	}
+	if s.sndNxt > s.sndUna {
+		s.armTimer()
+	} else {
+		s.timerGen++ // nothing outstanding: disarm
+		s.timerArmed = false
+	}
+}
+
+func (s *Sender) dupAck() {
+	s.dupacks++
+	if s.inRecovery {
+		s.cwnd++ // window inflation per extra dup
+		return
+	}
+	if s.dupacks == 3 {
+		// Fast retransmit + fast recovery.
+		s.ssthresh = maxf(float64(s.inflightSegs())/2, 2)
+		s.cwnd = s.ssthresh + 3
+		s.recover = s.sndNxt
+		s.inRecovery = true
+		s.retransmit()
+	}
+}
+
+// retransmit resends the first unacknowledged segment.
+func (s *Sender) retransmit() {
+	l := s.segLen(s.sndUna)
+	if l <= 0 {
+		return
+	}
+	s.Retransmits++
+	s.reg.Stats.Retransmits++
+	s.emit(s.sndUna, l)
+	s.armTimer()
+}
+
+func (s *Sender) sampleRTT(rtt units.Time) {
+	if rtt <= 0 {
+		return
+	}
+	if !s.hasRTT {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.hasRTT = true
+	} else {
+		// RFC 6298 with α=1/8, β=1/4 in integer arithmetic.
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar += (diff - s.rttvar) / 4
+		s.srtt += (rtt - s.srtt) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.reg.Cfg.MinRTO {
+		rto = s.reg.Cfg.MinRTO
+	}
+	if rto > s.reg.Cfg.MaxRTO {
+		rto = s.reg.Cfg.MaxRTO
+	}
+	s.rto = rto
+}
+
+func (s *Sender) armTimer() {
+	s.timerGen++
+	gen := s.timerGen
+	s.timerArmed = true
+	d := s.rto << uint(s.backoff)
+	if d > s.reg.Cfg.MaxRTO {
+		d = s.reg.Cfg.MaxRTO
+	}
+	s.reg.Sim.After(d, func() {
+		if gen != s.timerGen || s.done {
+			return
+		}
+		s.onTimeout()
+	})
+}
+
+func (s *Sender) onTimeout() {
+	s.reg.Stats.Timeouts++
+	s.ssthresh = maxf(float64(s.inflightSegs())/2, 2)
+	s.cwnd = 1
+	s.dupacks = 0
+	s.inRecovery = false
+	if s.backoff < 6 {
+		s.backoff++
+	}
+	// Retransmit only the first unacknowledged segment (RFC 6298); the
+	// receiver's cumulative ACK over its buffered out-of-order data then
+	// advances the window past everything that actually arrived.
+	s.retransmit()
+}
+
+// dctcpOnAck maintains DCTCP's marked-fraction estimate and applies the
+// proportional window reduction once per window of data.
+func (s *Sender) dctcpOnAck(pkt *fabric.Packet) {
+	if pkt.AckNo <= s.sndUna {
+		return // duplicates handled by loss recovery
+	}
+	acked := pkt.AckNo - s.sndUna
+	s.ackedInWin += acked
+	if pkt.ECNCE {
+		s.markedInWin += acked
+	}
+	if pkt.AckNo < s.winEnd {
+		return
+	}
+	// Window boundary: fold the observed fraction into α and react.
+	g := s.reg.Cfg.DCTCPg
+	frac := 0.0
+	if s.ackedInWin > 0 {
+		frac = float64(s.markedInWin) / float64(s.ackedInWin)
+	}
+	s.dctcpAlpha = (1-g)*s.dctcpAlpha + g*frac
+	if s.markedInWin > 0 && !s.inRecovery {
+		s.cwnd *= 1 - s.dctcpAlpha/2
+		if s.cwnd < 1 {
+			s.cwnd = 1
+		}
+		s.ssthresh = s.cwnd
+	}
+	s.ackedInWin, s.markedInWin = 0, 0
+	s.winEnd = s.sndNxt
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *Sender) finish(now units.Time) {
+	s.done = true
+	s.timerGen++
+	s.fct = now - s.start
+	s.reg.Stats.FlowsFinished++
+	if s.measured {
+		ms := s.fct.Millis()
+		s.reg.Stats.FCT.Add(ms)
+		if s.class != "" {
+			s.reg.Stats.ClassDist(s.class).Add(ms)
+		}
+	}
+	delete(s.agent.senders, s.id)
+	if s.reg.OnComplete != nil {
+		s.reg.OnComplete(s)
+	}
+}

@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"testing"
+
+	"drill/internal/lb"
+	"drill/internal/units"
+)
+
+func TestAdaptiveShimIntegration(t *testing.T) {
+	// Under forced per-packet Random reordering, the adaptive shim must
+	// suppress dup-ACKs at least as well as pass-through, while all flows
+	// still finish.
+	run := func(adaptive bool, shim units.Time) (float64, int64) {
+		s, _, r, tp := testbed(t, lb.Random{}, Config{
+			ShimTimeout: shim, AdaptiveShim: adaptive,
+		})
+		for i := 0; i < 10; i++ {
+			r.StartFlow(tp.Hosts[i%4], tp.Hosts[4+(i*3)%4], 200*1460, "")
+		}
+		s.Run()
+		if r.Stats.FlowsFinished != 10 {
+			t.Fatalf("finished %d/10 (adaptive=%v)", r.Stats.FlowsFinished, adaptive)
+		}
+		return r.Stats.DupAcks.FracAtLeast(3), r.Stats.Retransmits
+	}
+	noneDup, noneRetx := run(false, 0)
+	fixedDup, fixedRetx := run(false, 150*units.Microsecond)
+	adaptDup, adaptRetx := run(true, 150*units.Microsecond)
+	if fixedDup > noneDup || adaptDup > noneDup {
+		t.Fatalf("shim increased >=3 dupacks: none=%.3f fixed=%.3f adaptive=%.3f",
+			noneDup, fixedDup, adaptDup)
+	}
+	t.Logf("dup>=3: none=%.3f fixed=%.3f adaptive=%.3f; retx none=%d fixed=%d adaptive=%d",
+		noneDup, fixedDup, adaptDup, noneRetx, fixedRetx, adaptRetx)
+}
+
+func TestWireReorderZeroForECMP(t *testing.T) {
+	s, _, r, tp := testbed(t, lb.ECMP{}, Config{})
+	for i := 0; i < 8; i++ {
+		r.StartFlow(tp.Hosts[i%4], tp.Hosts[4+i%4], 100*1460, "")
+	}
+	s.Run()
+	if got := r.Stats.WireReorders.FracAtLeast(1); got != 0 {
+		t.Fatalf("ECMP wire reorder fraction = %v", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package transport implements the end-host stack the evaluation runs over
+// the fabric: TCP NewReno senders and receivers (slow start, congestion
+// avoidance, triple-duplicate-ACK fast retransmit/recovery, RTO with
+// SRTT/RTTVAR estimation), flow-completion-time accounting, duplicate-ACK
+// accounting for the Fig. 11(a) reordering analysis, and the optional
+// receiver-side reordering shim + GRO batching models from internal/gro.
+//
+// The paper ports Linux 2.6 TCP via the Network Simulation Cradle; NewReno
+// reproduces the behaviours the evaluation depends on — the 3-dup-ACK
+// retransmission threshold that reordering falsely triggers, and the
+// window collapse that follows.
+package transport
+
+import (
+	"fmt"
+
+	"drill/internal/fabric"
+	"drill/internal/metrics"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Config parameterizes the host stacks of one experiment.
+type Config struct {
+	MSS      int32   // payload bytes per segment (default 1460)
+	InitCwnd float64 // initial window in segments (default 10)
+	MaxCwnd  float64 // window cap in segments, modelling the socket
+	//                     buffer / receive window (default 128 ≈ 190KB)
+	// MinRTO is the retransmission-timer floor (default 1ms). The paper's
+	// NSC Linux 2.6 stack used the stock 200ms floor, which is why its
+	// tail-FCT axes reach hundreds of ms on every loss; 1ms preserves the
+	// drop→timeout→tail amplification at simulation horizons a single
+	// machine can run. Set 200µs for modern datacenter-tuned stacks.
+	MinRTO  units.Time
+	MaxRTO  units.Time // RTO backoff cap (default 20ms)
+	InitRTO units.Time // RTO before the first RTT sample (default 1ms)
+
+	// ShimTimeout > 0 enables the receiver reordering shim with that hold
+	// timeout ("DRILL" vs "DRILL w/o shim", Presto's shim).
+	ShimTimeout units.Time
+
+	// AdaptiveShim upgrades the shim to the Juggler-style adaptive variant:
+	// the hold tracks observed reordering skew between ShimTimeout/10 and
+	// ShimTimeout, so losses stall flows for less than the fixed hold would.
+	AdaptiveShim bool
+
+	// TrackGRO enables GRO batch accounting.
+	TrackGRO bool
+
+	// DCTCP enables DCTCP congestion control on senders: receivers echo
+	// per-packet ECN marks and senders scale their window by the marked
+	// fraction (α) once per window. Pair with fabric.Config.ECNThreshold.
+	DCTCP bool
+	// DCTCPg is DCTCP's α EWMA gain (default 1/16).
+	DCTCPg float64
+}
+
+func (c *Config) defaults() {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10
+	}
+	if c.MaxCwnd == 0 {
+		c.MaxCwnd = 128
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 1 * units.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 20 * units.Millisecond
+	}
+	if c.InitRTO == 0 {
+		c.InitRTO = 1 * units.Millisecond
+	}
+	if c.DCTCPg == 0 {
+		c.DCTCPg = 1.0 / 16
+	}
+}
+
+// Stats aggregates transport-level measurements across all hosts.
+type Stats struct {
+	// FCT collects completion times in milliseconds, overall and per class.
+	FCT        metrics.Dist
+	FCTByClass map[string]*metrics.Dist
+
+	// DupAcks histograms duplicate ACKs generated per completed flow.
+	DupAcks metrics.IntHist
+
+	// WireReorders histograms emission-order inversions observed on the
+	// wire per completed flow (reordering proper, untangled from TCP's
+	// duplicate-ACK amplification).
+	WireReorders metrics.IntHist
+
+	// InversionBlame counts, per hop class, how often that hop contributed
+	// the largest wait difference of an inverted packet pair.
+	InversionBlame [6]int64
+
+	// GROBatches / GROSegments accumulate batching telemetry.
+	GROBatches  int64
+	GROSegments int64
+
+	// ShimFlushes counts shim timeouts (order could not be restored in time).
+	ShimFlushes int64
+
+	Retransmits   int64
+	Timeouts      int64
+	FlowsStarted  int64
+	FlowsFinished int64
+}
+
+// ClassDist returns (creating if needed) the FCT distribution for a class.
+func (s *Stats) ClassDist(class string) *metrics.Dist {
+	if s.FCTByClass == nil {
+		s.FCTByClass = map[string]*metrics.Dist{}
+	}
+	d := s.FCTByClass[class]
+	if d == nil {
+		d = &metrics.Dist{}
+		s.FCTByClass[class] = d
+	}
+	return d
+}
+
+// Registry owns the per-host agents of one network and starts flows.
+type Registry struct {
+	Sim   *sim.Sim
+	Net   *fabric.Network
+	Cfg   Config
+	Stats Stats
+
+	agents   map[topo.NodeID]*Agent
+	nextFlow uint64
+
+	// MeasureFrom: flows started before this time are warm-up and excluded
+	// from Stats (they still load the network).
+	MeasureFrom units.Time
+
+	// OnComplete, when set, is invoked for every finished flow.
+	OnComplete func(f *Sender)
+}
+
+// NewRegistry attaches a transport agent to every host in the network.
+func NewRegistry(s *sim.Sim, net *fabric.Network, cfg Config) *Registry {
+	cfg.defaults()
+	r := &Registry{Sim: s, Net: net, Cfg: cfg, agents: map[topo.NodeID]*Agent{}}
+	for _, h := range net.Topo.Hosts {
+		host := net.Host(h)
+		a := &Agent{reg: r, host: host,
+			senders:   map[uint64]*Sender{},
+			receivers: map[uint64]*Receiver{},
+		}
+		host.Handler = a
+		r.agents[h] = a
+	}
+	return r
+}
+
+// Agent is the per-host transport endpoint; it demultiplexes delivered
+// packets to flow senders (ACKs) and receivers (data).
+type Agent struct {
+	reg       *Registry
+	host      *fabric.Host
+	senders   map[uint64]*Sender
+	receivers map[uint64]*Receiver
+}
+
+// HandlePacket implements fabric.PacketHandler.
+func (a *Agent) HandlePacket(h *fabric.Host, pkt *fabric.Packet) {
+	switch pkt.Kind {
+	case fabric.Ack:
+		if s := a.senders[pkt.FlowID]; s != nil {
+			s.onAck(pkt)
+		}
+	case fabric.Data:
+		rcv := a.receivers[pkt.FlowID]
+		if rcv == nil {
+			rcv = newReceiver(a, pkt)
+			a.receivers[pkt.FlowID] = rcv
+		}
+		rcv.onData(pkt)
+	}
+}
+
+// StartFlow begins a TCP transfer of size bytes from src to dst. Class tags
+// the flow for per-class FCT reporting ("", "mice", "elephant", "incast").
+// Infinite flows (size < 0) never finish; their throughput is read via
+// Sender.AckedBytes.
+func (r *Registry) StartFlow(src, dst topo.NodeID, size int64, class string) *Sender {
+	if src == dst {
+		panic("transport: flow to self")
+	}
+	r.nextFlow++
+	r.Stats.FlowsStarted++
+	id := r.nextFlow
+	s := &Sender{
+		reg: r, agent: r.agents[src], id: id, dst: dst,
+		size: size, class: class,
+		hash:     flowHash(id, src, dst),
+		cwnd:     r.Cfg.InitCwnd,
+		ssthresh: 1 << 30,
+		rto:      r.Cfg.InitRTO,
+		start:    r.Sim.Now(),
+		measured: r.Sim.Now() >= r.MeasureFrom,
+	}
+	r.agents[src].senders[id] = s
+	s.trySend()
+	return s
+}
+
+// flowHash mixes the flow 5-tuple stand-ins into the hash ECMP et al. use.
+func flowHash(id uint64, src, dst topo.NodeID) uint32 {
+	h := uint64(2166136261)
+	for _, x := range [3]uint64{id, uint64(src), uint64(dst)} {
+		h ^= x
+		h *= 16777619
+		h ^= h >> 17
+	}
+	h *= 0x9e3779b1
+	return uint32(h>>32) ^ uint32(h)
+}
+
+func (r *Registry) String() string {
+	return fmt.Sprintf("transport.Registry{flows=%d finished=%d}",
+		r.Stats.FlowsStarted, r.Stats.FlowsFinished)
+}

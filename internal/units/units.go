@@ -1,0 +1,116 @@
+// Package units defines the value types shared across the simulator:
+// simulated time, byte sizes, and link rates. Keeping them as distinct
+// types catches unit mix-ups (bits vs bytes, ns vs µs) at compile time.
+package units
+
+import "fmt"
+
+// Time is a point in (or span of) simulated time, in nanoseconds.
+// The zero Time is the start of the simulation.
+type Time int64
+
+// Common durations, expressed as Time spans.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats t with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// ByteSize is a data size in bytes.
+type ByteSize int64
+
+// Common sizes.
+const (
+	Byte ByteSize = 1
+	KB   ByteSize = 1000 * Byte
+	MB   ByteSize = 1000 * KB
+	GB   ByteSize = 1000 * MB
+	KiB  ByteSize = 1024 * Byte
+	MiB  ByteSize = 1024 * KiB
+)
+
+// String formats s with an auto-selected unit.
+func (s ByteSize) String() string {
+	switch {
+	case s < 0:
+		return fmt.Sprintf("-%v", -s)
+	case s < KB:
+		return fmt.Sprintf("%dB", int64(s))
+	case s < MB:
+		return fmt.Sprintf("%.4gKB", float64(s)/float64(KB))
+	case s < GB:
+		return fmt.Sprintf("%.4gMB", float64(s)/float64(MB))
+	default:
+		return fmt.Sprintf("%.4gGB", float64(s)/float64(GB))
+	}
+}
+
+// Rate is a link or flow rate in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Kbps         Rate = 1000 * BitPerSecond
+	Mbps         Rate = 1000 * Kbps
+	Gbps         Rate = 1000 * Mbps
+)
+
+// String formats r with an auto-selected unit.
+func (r Rate) String() string {
+	switch {
+	case r < 0:
+		return fmt.Sprintf("-%v", -r)
+	case r < Mbps:
+		return fmt.Sprintf("%.4gKbps", float64(r)/float64(Kbps))
+	case r < Gbps:
+		return fmt.Sprintf("%.4gMbps", float64(r)/float64(Mbps))
+	default:
+		return fmt.Sprintf("%.4gGbps", float64(r)/float64(Gbps))
+	}
+}
+
+// TxTime returns the serialization delay of size bytes on a link of rate r,
+// rounded up to the next nanosecond so back-to-back packets never overlap.
+func TxTime(size ByteSize, r Rate) Time {
+	if r <= 0 {
+		panic("units: TxTime with non-positive rate")
+	}
+	bits := int64(size) * 8
+	ns := (bits*int64(Second) + int64(r) - 1) / int64(r)
+	return Time(ns)
+}
+
+// BytesIn returns how many whole bytes a link of rate r carries in span t.
+func BytesIn(r Rate, t Time) ByteSize {
+	if t < 0 {
+		return 0
+	}
+	return ByteSize(int64(r) * int64(t) / (8 * int64(Second)))
+}

@@ -1,0 +1,113 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTxTime(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		rate Rate
+		want Time
+	}{
+		{1500, 40 * Gbps, 300},
+		{1500, 10 * Gbps, 1200},
+		{1500, 1 * Gbps, 12000},
+		{40, 10 * Gbps, 32},
+		{1, 8 * BitPerSecond, Second},
+		{64, 40 * Gbps, 13}, // 12.8ns rounds up
+	}
+	for _, c := range cases {
+		if got := TxTime(c.size, c.rate); got != c.want {
+			t.Errorf("TxTime(%v, %v) = %v, want %v", c.size, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeRoundsUp(t *testing.T) {
+	// Property: transmitting back-to-back never exceeds line rate, i.e.
+	// BytesIn(rate, TxTime(size, rate)) >= size is NOT required (rounding up
+	// means the link is slightly underutilized), but TxTime must never be
+	// shorter than the exact serialization time.
+	f := func(size uint16, rateG uint8) bool {
+		s := ByteSize(size%9000 + 1)
+		r := Rate(int64(rateG%100+1)) * Gbps
+		got := TxTime(s, r)
+		exactBitsNs := float64(s) * 8 * 1e9 / float64(r)
+		return float64(got) >= exactBitsNs && float64(got) < exactBitsNs+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rate")
+		}
+	}()
+	TxTime(100, 0)
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := BytesIn(10*Gbps, Microsecond); got != 1250 {
+		t.Errorf("BytesIn(10G, 1us) = %v, want 1250", got)
+	}
+	if got := BytesIn(10*Gbps, -5); got != 0 {
+		t.Errorf("BytesIn negative time = %v, want 0", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+		{-500, "-500ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	if got := ByteSize(1500).String(); got != "1.5KB" {
+		t.Errorf("got %q", got)
+	}
+	if got := ByteSize(64).String(); got != "64B" {
+		t.Errorf("got %q", got)
+	}
+	if got := (2 * GB).String(); got != "2GB" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if got := (40 * Gbps).String(); got != "40Gbps" {
+		t.Errorf("got %q", got)
+	}
+	if got := (100 * Mbps).String(); got != "100Mbps" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Millis() != 1.5 {
+		t.Errorf("Millis = %v", d.Millis())
+	}
+	if d.Micros() != 1500 {
+		t.Errorf("Micros = %v", d.Micros())
+	}
+	if d.Seconds() != 0.0015 {
+		t.Errorf("Seconds = %v", d.Seconds())
+	}
+}

@@ -1,0 +1,150 @@
+// Package workload generates the traffic the DRILL evaluation drives its
+// fabrics with: trace-style flow-size distributions with Poisson arrivals
+// scaled to a target core load (the paper draws sizes and interarrivals
+// from the Facebook measurements of Roy et al. [62]), the incast
+// application of Fig. 14, and the Stride/Random(bijection)/Shuffle
+// synthetic patterns of Table 1.
+//
+// The production traces themselves are not public; SizeDist encodes
+// piecewise log-linear CDFs fitted to the published percentile summaries,
+// preserving the heavy tail (most flows tiny, most bytes in elephants)
+// that produces microbursts — the property the evaluation exercises.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CDFPoint anchors the flow-size CDF: fraction F of flows are <= Bytes.
+type CDFPoint struct {
+	F     float64
+	Bytes float64
+}
+
+// SizeDist is a piecewise log-linear empirical flow-size distribution.
+type SizeDist struct {
+	Name   string
+	Points []CDFPoint // strictly increasing in F and Bytes; F ends at 1
+	mean   float64
+}
+
+// NewSizeDist validates the anchor points and precomputes the mean.
+func NewSizeDist(name string, pts []CDFPoint) *SizeDist {
+	if len(pts) < 2 {
+		panic("workload: size distribution needs >= 2 points")
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].F < pts[j].F }) {
+		panic("workload: CDF points must be sorted by F")
+	}
+	if pts[0].F != 0 || pts[len(pts)-1].F != 1 {
+		panic("workload: CDF must span F=0..1")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bytes < pts[i-1].Bytes {
+			panic("workload: CDF bytes must be non-decreasing")
+		}
+	}
+	d := &SizeDist{Name: name, Points: pts}
+	d.mean = d.computeMean()
+	return d
+}
+
+// Sample draws one flow size by inverse-transform sampling with log-linear
+// interpolation between anchors (sizes span five orders of magnitude).
+func (d *SizeDist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	pts := d.Points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].F >= u })
+	if i == 0 {
+		return int64(pts[0].Bytes)
+	}
+	lo, hi := pts[i-1], pts[i]
+	if hi.F == lo.F || hi.Bytes == lo.Bytes {
+		return int64(hi.Bytes)
+	}
+	frac := (u - lo.F) / (hi.F - lo.F)
+	logSize := math.Log(lo.Bytes) + frac*(math.Log(hi.Bytes)-math.Log(lo.Bytes))
+	s := int64(math.Exp(logSize))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Mean returns the distribution's expected flow size in bytes.
+func (d *SizeDist) Mean() float64 { return d.mean }
+
+// computeMean integrates E[S] = ∫ s dF over each log-linear segment
+// analytically: with s(f) = a·e^{k f}, ∫ s df = (a/k)(e^{k f2} − e^{k f1}).
+func (d *SizeDist) computeMean() float64 {
+	var mean float64
+	pts := d.Points
+	for i := 1; i < len(pts); i++ {
+		lo, hi := pts[i-1], pts[i]
+		df := hi.F - lo.F
+		if df <= 0 {
+			continue
+		}
+		if hi.Bytes == lo.Bytes {
+			mean += lo.Bytes * df
+			continue
+		}
+		k := math.Log(hi.Bytes / lo.Bytes)
+		// s(t) for t in [0,1] over the segment: lo.Bytes * e^{k t}.
+		// ∫0..1 s dt = lo.Bytes (e^k − 1)/k; weight by df.
+		mean += df * lo.Bytes * (math.Exp(k) - 1) / k
+	}
+	return mean
+}
+
+// Truncate returns a copy of d with all probability mass above capBytes
+// collapsed onto capBytes. Short measurement windows cannot carry the
+// multi-megabyte tail's bytes (a 16MB flow needs 13ms of a 10G NIC alone),
+// so scaled-down experiments truncate the tail to reach their target
+// offered load; full-scale runs use the original distribution.
+func Truncate(d *SizeDist, capBytes float64) *SizeDist {
+	var pts []CDFPoint
+	for _, p := range d.Points {
+		if p.Bytes >= capBytes {
+			break
+		}
+		pts = append(pts, p)
+	}
+	if len(pts) == 0 {
+		pts = []CDFPoint{{F: 0, Bytes: capBytes / 2}}
+	}
+	if pts[len(pts)-1].F < 1 {
+		pts = append(pts, CDFPoint{F: 1, Bytes: capBytes})
+	}
+	return NewSizeDist(d.Name+"-trunc", pts)
+}
+
+// FacebookWeb approximates the web-server flow sizes of Roy et al. [62]:
+// dominated by tiny request/response flows with a long tail.
+var FacebookWeb = NewSizeDist("fb-web", []CDFPoint{
+	{0, 64}, {0.15, 256}, {0.5, 2e3}, {0.8, 1e4}, {0.9, 6.4e4},
+	{0.97, 2.56e5}, {0.995, 1e6}, {0.9995, 1e7}, {1, 3e7},
+})
+
+// FacebookCache approximates the cache-follower flow sizes of [62]:
+// larger objects, heavier middle.
+var FacebookCache = NewSizeDist("fb-cache", []CDFPoint{
+	{0, 512}, {0.4, 4e3}, {0.75, 3.2e4}, {0.9, 1.28e5},
+	{0.98, 1e6}, {0.999, 8e6}, {1, 1.6e7},
+})
+
+// WebSearch approximates the DCTCP web-search workload often used as a
+// datacenter benchmark (query + background mix).
+var WebSearch = NewSizeDist("web-search", []CDFPoint{
+	{0, 6e3}, {0.15, 1e4}, {0.2, 2e4}, {0.3, 1e5}, {0.53, 1e6},
+	{0.6, 2e6}, {0.7, 5e6}, {0.8, 1e7}, {0.9, 2e7}, {1, 3e7},
+})
+
+// DataMining approximates the VL2 data-mining workload: an extreme tail
+// (most flows < 10KB, yet most bytes in 100MB-class flows, truncated here
+// to 100MB to keep single-machine runs bounded).
+var DataMining = NewSizeDist("data-mining", []CDFPoint{
+	{0, 100}, {0.5, 1e3}, {0.8, 1e4}, {0.95, 1e6}, {0.98, 1e7}, {1, 1e8},
+})
