@@ -4,14 +4,19 @@
 // Usage:
 //
 //	drillsim -list
-//	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-q]
+//	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-workers 4] [-q]
 //	drillsim -exp all
+//
+// Sweep cells fan out across -workers goroutines; reports are
+// byte-identical for a fixed seed at any worker count, and -workers 1
+// reproduces the fully sequential behavior.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -21,14 +26,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to run, or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		scale  = flag.Float64("scale", 0, "0 = quick single-core defaults, 1 = paper parameters")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		loads  = flag.String("loads", "", "comma-separated load override, e.g. 0.1,0.5,0.8")
-		reps   = flag.Int("reps", 1, "replications per sweep cell (pooled samples)")
-		format = flag.String("format", "table", "output format: table | csv | json")
-		quiet  = flag.Bool("q", false, "suppress per-run progress lines")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 0, "0 = quick single-core defaults, 1 = paper parameters")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		loads   = flag.String("loads", "", "comma-separated load override, e.g. 0.1,0.5,0.8")
+		reps    = flag.Int("reps", 1, "replications per sweep cell (pooled samples)")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
+		format  = flag.String("format", "table", "output format: table | csv | json")
+		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
 
@@ -42,9 +48,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "drillsim: -reps must be >= 1 (got %d)\n", *reps)
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "drillsim: -workers must be >= 1 (got %d); omit the flag to use all %d CPUs\n",
+			*workers, runtime.NumCPU())
+		os.Exit(2)
+	}
+	// Sim runs are CPU-bound, so more workers than cores only adds
+	// scheduling churn.
+	resolved := *workers
+	if n := runtime.NumCPU(); resolved > n {
+		resolved = n
+	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Workers: resolved}
 	if !*quiet {
+		fmt.Fprintf(os.Stderr, "drillsim: %d worker(s) (%d CPUs), seed %d, scale %g, reps %d\n",
+			resolved, runtime.NumCPU(), *seed, *scale, *reps)
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
@@ -76,10 +99,13 @@ func main() {
 		}
 		start := time.Now()
 		rep := e.Run(opts)
+		// Wall-clock timing goes to stderr: stdout is byte-identical for a
+		// fixed seed regardless of worker count or machine speed.
+		fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
 		switch *format {
 		case "table":
 			fmt.Print(rep.Format())
-			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+			fmt.Println()
 		case "csv":
 			out, err := rep.CSV()
 			if err != nil {

@@ -60,12 +60,17 @@ func init() {
 			rep := &Report{ID: "ablgran",
 				Title:   "Mean / p99.99 FCT [ms] at 80% load by balancing granularity and load awareness",
 				Columns: []string{"granularity", "load-aware", "mean FCT", "p99.99 FCT", "hop1 drops"}}
+			var cfgs []RunCfg
 			for gi, g := range grid {
-				res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: g.scheme,
+				cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: g.scheme,
 					Seed: o.Seed + int64(gi), Load: 0.8, Warmup: w, Measure: m})
-				rep.AddRow(g.gran, g.aware, fmtMs(res.FCT.Mean()),
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("ablgran %s/%s done [%s]", grid[i].gran, grid[i].aware, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(grid[i].gran, grid[i].aware, fmtMs(res.FCT.Mean()),
 					fmtMs(res.FCT.Percentile(99.99)), fmt.Sprintf("%d", res.Hops.Drops[1]))
-				o.progress("ablgran %s/%s done", g.gran, g.aware)
 			}
 			rep.Note("both factors matter: finer granularity AND load awareness each " +
 				"improve tail FCT; their combination (DRILL) wins — §3.1's argument")
@@ -93,13 +98,18 @@ func init() {
 			rep := &Report{ID: "ablasym",
 				Title:   "One failed leaf-spine link, 70% load",
 				Columns: []string{"scheme", "mean FCT [ms]", "p99.99 [ms]", "core util", "retransmits"}}
+			var cfgs []RunCfg
 			for si, sc := range schemes {
-				res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
+				cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
 					Seed: o.Seed + int64(si), Load: 0.7, Warmup: w, Measure: m,
 					FailLinks: 1})
-				rep.AddRow(sc.Name, fmtMs(res.FCT.Mean()), fmtMs(res.FCT.Percentile(99.99)),
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("ablasym %s done [%s]", schemes[i].Name, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(schemes[i].Name, fmtMs(res.FCT.Mean()), fmtMs(res.FCT.Percentile(99.99)),
 					fmt.Sprintf("%.3f", res.CoreUtil), fmt.Sprintf("%d", res.Retransmits))
-				o.progress("ablasym %s done", sc.Name)
 			}
 			rep.Note("naive per-packet balancing across asymmetric paths couples their " +
 				"rates (§3.4's example) and reorders across unequal queues; the Quiver " +

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"drill/internal/units"
+)
+
+// benchSweepCfgs is a small schemes × loads grid sized so one iteration
+// finishes in seconds; BENCH runs compare sequential against pooled
+// execution to track fan-out scaling.
+func benchSweepCfgs() []RunCfg {
+	var cfgs []RunCfg
+	for si, name := range []string{"ECMP", "DRILL"} {
+		sc, _ := SchemeByName(name)
+		for li, load := range []float64{0.3, 0.7} {
+			cfgs = append(cfgs, RunCfg{
+				Topo: fig6Topo(0), Scheme: sc,
+				Seed: 1 + int64(si*100+li), Load: load,
+				Warmup:  200 * units.Microsecond,
+				Measure: 1 * units.Millisecond,
+			})
+		}
+	}
+	return cfgs
+}
+
+func benchmarkSweep(b *testing.B, workers int) {
+	cfgs := benchSweepCfgs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := RunAll(cfgs, workers, nil)
+		if res[0].FCT.Count() == 0 {
+			b.Fatal("empty sweep cell")
+		}
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, 1) }
+
+func BenchmarkSweepPooled(b *testing.B) { benchmarkSweep(b, 0) }
+
+// BenchmarkSweepWorkers tracks scaling across explicit worker counts.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchmarkSweep(b, w)
+		})
+	}
+}

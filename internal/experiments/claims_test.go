@@ -51,9 +51,7 @@ func claimRun(t *testing.T, scheme string, load float64, seeds int, mut func(*Ru
 }
 
 func TestClaimDRILLCutsUpstreamQueueing(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow directional claim")
-	}
+	skipSlow(t, "slow directional claim")
 	// §4 / Fig. 6c: DRILL's benefit is concentrated in hop-1 queues.
 	ecmp := claimRun(t, "ECMP", 0.8, 2, nil)
 	dr := claimRun(t, "DRILL", 0.8, 2, nil)
@@ -67,9 +65,7 @@ func TestClaimDRILLCutsUpstreamQueueing(t *testing.T) {
 }
 
 func TestClaimDRILLEliminatesCoreDrops(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow directional claim")
-	}
+	skipSlow(t, "slow directional claim")
 	// Fig. 14c's essence: under load, ECMP loses packets at hops 1-2;
 	// DRILL's balancing nearly eliminates those drops.
 	ecmp := claimRun(t, "ECMP", 0.8, 2, nil)
@@ -85,9 +81,7 @@ func TestClaimDRILLEliminatesCoreDrops(t *testing.T) {
 }
 
 func TestClaimQueueBalanceOrdering(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow directional claim")
-	}
+	skipSlow(t, "slow directional claim")
 	// Fig. 2: ECMP ≫ Random > DRILL(2,1) in queue-length STDV.
 	stdv := func(scheme string) float64 {
 		res := claimRun(t, scheme, 0.8, 1, func(c *RunCfg) {
@@ -115,9 +109,7 @@ func TestClaimQueueBalanceOrdering(t *testing.T) {
 }
 
 func TestClaimShimRemovesSpuriousRetransmits(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow directional claim")
-	}
+	skipSlow(t, "slow directional claim")
 	// §3.3: with the shim, reordering no longer reaches TCP, so
 	// retransmissions collapse to loss-driven ones only.
 	noShim := claimRun(t, "DRILL w/o shim", 0.8, 1, nil)
@@ -129,9 +121,7 @@ func TestClaimShimRemovesSpuriousRetransmits(t *testing.T) {
 }
 
 func TestClaimECMPNeverReorders(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow directional claim")
-	}
+	skipSlow(t, "slow directional claim")
 	res := claimRun(t, "ECMP", 0.8, 1, nil)
 	if got := res.WireReorders.FracAtLeast(1); got != 0 {
 		t.Fatalf("ECMP wire-reordered %.3f of flows; must be 0", got)
@@ -139,9 +129,7 @@ func TestClaimECMPNeverReorders(t *testing.T) {
 }
 
 func TestClaimQuiverNotWorseUnderFailure(t *testing.T) {
-	if testing.Short() {
-		t.Skip("slow directional claim")
-	}
+	skipSlow(t, "slow directional claim")
 	// §3.4: with one failed link, Quiver-DRILL must not lose meaningfully
 	// to naive per-packet DRILL that ignores the asymmetry (pooled seeds).
 	naiveScheme := Scheme{Name: "naive", New: func() fabricBalancer { return lbNewDRILL() }}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// renderAll produces every encoding of a report; determinism means all of
+// them, not just the aligned table, are byte-identical across worker
+// counts.
+func renderAll(t *testing.T, rep *Report) string {
+	t.Helper()
+	csv, err := rep.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsn, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Format() + "\n" + csv + "\n" + jsn
+}
+
+func runDeterminism(t *testing.T, id string, opts Options, workerCounts []int) {
+	e := Get(id)
+	if e == nil {
+		t.Fatalf("no experiment %q", id)
+	}
+	var want string
+	for _, w := range workerCounts {
+		o := opts
+		o.Workers = w
+		got := renderAll(t, e.Run(o))
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: report at workers=%d differs from workers=%d:\n--- workers=%d ---\n%s\n--- workers=%d ---\n%s",
+				id, w, workerCounts[0], workerCounts[0], want, w, got)
+		}
+	}
+}
+
+// TestFig6aParallelDeterminism is the headline guarantee: the full fig6a
+// report at -scale 0 is byte-identical (table, CSV and JSON) whether the
+// sweep runs sequentially or fanned out. Slow — skipped under -short and
+// -race; the quick grid below covers the same property in every run.
+func TestFig6aParallelDeterminism(t *testing.T) {
+	skipSlow(t, "full fig6a sweep")
+	runDeterminism(t, "fig6a", Options{Seed: 1, Scale: 0, Loads: []float64{0.1, 0.8}}, []int{1, 4})
+}
+
+// TestQuickParallelDeterminism checks the same property on fast
+// experiments so -short CI (and the race job) still exercises the
+// parallel reduce path end to end.
+func TestQuickParallelDeterminism(t *testing.T) {
+	// stability fans out the queueing sims; reps>1 on a trimmed fig6a grid
+	// exercises the pooled rep-merge ordering.
+	runDeterminism(t, "stability", Options{Seed: 1}, []int{1, 3})
+	runDeterminism(t, "fig6a", Options{Seed: 1, Loads: []float64{0.1}, Reps: 2}, []int{1, 4})
+	cfgs := tinySweepCfgs()
+	fmtRes := func(rs []*RunResult) string {
+		var s string
+		for _, r := range rs {
+			s += fmt.Sprintf("n=%d mean=%v p99=%v ev=%d|",
+				r.FCT.Count(), r.FCT.Mean(), r.FCT.Percentile(99), r.Events)
+		}
+		return s
+	}
+	seq := fmtRes(RunAll(cfgs, 1, nil))
+	for _, w := range []int{2, 4} {
+		if got := fmtRes(RunAll(cfgs, w, nil)); got != seq {
+			t.Errorf("RunAll workers=%d FCTs differ from sequential", w)
+		}
+	}
+}

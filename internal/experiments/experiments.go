@@ -31,7 +31,13 @@ type Options struct {
 	// Reps replicates each FCT-sweep cell across that many seeds and pools
 	// the samples (default 1). Raises run time linearly.
 	Reps int
-	// Progress, when non-nil, receives one line per completed run.
+	// Workers bounds the number of concurrent simulation runs during sweep
+	// fan-out: 0 = one per CPU, 1 = fully sequential. Reports are
+	// byte-identical for a fixed seed at any worker count.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run. The
+	// fan-out pool serializes calls, so the callback may touch shared
+	// state without locking.
 	Progress func(format string, args ...any)
 }
 
@@ -54,6 +60,21 @@ func (o *Options) progress(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(format, args...)
 	}
+}
+
+// runAll fans cfgs out on the option's worker count; see RunAll.
+func (o *Options) runAll(cfgs []RunCfg, done func(i int, res *RunResult)) []*RunResult {
+	return RunAll(cfgs, o.Workers, done)
+}
+
+// timing renders the per-cell run-timing suffix of progress lines.
+func timing(res *RunResult) string {
+	secs := res.Wall.Seconds()
+	evs := 0.0
+	if secs > 0 {
+		evs = float64(res.Events) / secs
+	}
+	return fmt.Sprintf("wall=%.2fs ev/s=%.3g sim/real=%.3g", secs, evs, res.SimRate())
 }
 
 // loads returns the experiment's load sweep, honoring any override.

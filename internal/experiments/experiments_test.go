@@ -19,6 +19,20 @@ var designIDs = []string{
 	"ablvis", "ablgran", "ablasym",
 }
 
+// skipSlow skips diagnostic probes and full-scale sweeps in -short mode
+// and under the race detector, whose slowdown pushes them past the
+// default test timeout; the quick pool/determinism tests keep the
+// concurrent paths covered in both configurations.
+func skipSlow(t *testing.T, why string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip(why + " (short mode)")
+	}
+	if raceEnabled {
+		t.Skip(why + " (race detector)")
+	}
+}
+
 func TestRegistryCoversDesign(t *testing.T) {
 	for _, id := range designIDs {
 		if Get(id) == nil {

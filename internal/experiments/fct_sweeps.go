@@ -39,15 +39,18 @@ type sweepCell struct {
 	res *RunResult
 }
 
-// run executes the sweep, returning results indexed [scheme][load].
+// run executes the sweep, returning results indexed [scheme][load]. Cell
+// configs are built up front (schemes × loads × reps) and fanned out on
+// the option's worker pool; replications are pooled in submission order,
+// so the tables are identical at every worker count.
 func (f *fctSweep) run(o Options) [][]sweepCell {
-	out := make([][]sweepCell, len(f.schemes))
+	type cellKey struct{ si, li int }
+	var cfgs []RunCfg
+	var keys []cellKey
 	for si, sc := range f.schemes {
-		out[si] = make([]sweepCell, len(f.loads))
 		for li, load := range f.loads {
-			var merged *RunResult
 			for rep := 0; rep < o.Reps; rep++ {
-				cfg := RunCfg{
+				cfgs = append(cfgs, RunCfg{
 					Topo:         f.topo,
 					Scheme:       sc,
 					Seed:         o.Seed + int64(si*100+li) + int64(rep*10007),
@@ -58,22 +61,32 @@ func (f *fctSweep) run(o Options) [][]sweepCell {
 					FailAt:       f.failAt,
 					IncastPeriod: f.incast,
 					Engines:      f.engines,
-				}
-				res := Run(cfg)
-				if merged == nil {
-					merged = res
-				} else {
-					// Pool FCT samples across replications; counters add.
-					merged.FCT.AddDist(res.FCT)
-					merged.Drops += res.Drops
-					merged.Flows += res.Flows
-					merged.Events += res.Events
-				}
+				})
+				keys = append(keys, cellKey{si, li})
 			}
-			out[si][li] = sweepCell{res: merged}
-			o.progress("%-16s load=%.0f%%  flows=%d  meanFCT=%.3fms  p99.99=%.3fms  drops=%d  events=%d",
-				sc.Name, load*100, merged.FCT.Count(), merged.FCT.Mean(),
-				merged.FCT.Percentile(99.99), merged.Drops, merged.Events)
+		}
+	}
+	results := o.runAll(cfgs, func(i int, res *RunResult) {
+		k := keys[i]
+		o.progress("%-16s load=%.0f%%  flows=%d  meanFCT=%.3fms  p99.99=%.3fms  drops=%d  events=%d  [%s]",
+			f.schemes[k.si].Name, f.loads[k.li]*100, res.FCT.Count(), res.FCT.Mean(),
+			res.FCT.Percentile(99.99), res.Drops, res.Events, timing(res))
+	})
+
+	out := make([][]sweepCell, len(f.schemes))
+	for si := range f.schemes {
+		out[si] = make([]sweepCell, len(f.loads))
+	}
+	for i, res := range results {
+		k := keys[i]
+		if merged := out[k.si][k.li].res; merged == nil {
+			out[k.si][k.li].res = res
+		} else {
+			// Pool FCT samples across replications; counters add.
+			merged.FCT.AddDist(res.FCT)
+			merged.Drops += res.Drops
+			merged.Flows += res.Flows
+			merged.Events += res.Events
 		}
 	}
 	return out
@@ -142,16 +155,23 @@ func init() {
 			w, m := sweepTimes(o)
 			rep := &Report{ID: "fig6c", Title: "Mean queueing time [µs] per hop",
 				Columns: []string{"load", "scheme", "hop1 (leaf up)", "hop2 (spine down)", "hop3 (leaf->host)"}}
-			for _, load := range o.loads([]float64{0.1, 0.5, 0.8}) {
-				for si, sc := range StdSchemes() {
-					res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
+			loads, schemes := o.loads([]float64{0.1, 0.5, 0.8}), StdSchemes()
+			var cfgs []RunCfg
+			for _, load := range loads {
+				for si, sc := range schemes {
+					cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
 						Seed: o.Seed + int64(si), Load: load, Warmup: w, Measure: m})
-					rep.AddRow(fmt.Sprintf("%.0f%%", load*100), sc.Name,
-						fmtF(res.Hops.MeanQueueing(metrics.Hop1)),
-						fmtF(res.Hops.MeanQueueing(metrics.Hop2)),
-						fmtF(res.Hops.MeanQueueing(metrics.Hop3)))
-					o.progress("fig6c %s load=%.0f%% done", sc.Name, load*100)
 				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig6c %s load=%.0f%% done [%s]",
+					schemes[i%len(schemes)].Name, loads[i/len(schemes)]*100, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(fmt.Sprintf("%.0f%%", loads[i/len(schemes)]*100), schemes[i%len(schemes)].Name,
+					fmtF(res.Hops.MeanQueueing(metrics.Hop1)),
+					fmtF(res.Hops.MeanQueueing(metrics.Hop2)),
+					fmtF(res.Hops.MeanQueueing(metrics.Hop3)))
 			}
 			rep.Note("paper: load balancing gains come from hop 1 (upstream) queues; " +
 				"hop 3 has no path choice and is scheme-independent")
@@ -189,16 +209,23 @@ func init() {
 			w, m := sweepTimes(o)
 			rep := &Report{ID: "fig8", Title: "FCT CDF points [ms at F]",
 				Columns: []string{"load", "scheme", "p25", "p50", "p75", "p95", "p99"}}
-			for _, load := range o.loads([]float64{0.3, 0.8}) {
-				for si, sc := range StdSchemes() {
-					res := Run(RunCfg{Topo: scaleOutTopo(o.Scale), Scheme: sc,
+			loads, schemes := o.loads([]float64{0.3, 0.8}), StdSchemes()
+			var cfgs []RunCfg
+			for _, load := range loads {
+				for si, sc := range schemes {
+					cfgs = append(cfgs, RunCfg{Topo: scaleOutTopo(o.Scale), Scheme: sc,
 						Seed: o.Seed + int64(si), Load: load, Warmup: w, Measure: m})
-					rep.AddRow(fmt.Sprintf("%.0f%%", load*100), sc.Name,
-						fmtMs(res.FCT.Percentile(25)), fmtMs(res.FCT.Percentile(50)),
-						fmtMs(res.FCT.Percentile(75)), fmtMs(res.FCT.Percentile(95)),
-						fmtMs(res.FCT.Percentile(99)))
-					o.progress("fig8 %s load=%.0f%% done", sc.Name, load*100)
 				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig8 %s load=%.0f%% done [%s]",
+					schemes[i%len(schemes)].Name, loads[i/len(schemes)]*100, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(fmt.Sprintf("%.0f%%", loads[i/len(schemes)]*100), schemes[i%len(schemes)].Name,
+					fmtMs(res.FCT.Percentile(25)), fmtMs(res.FCT.Percentile(50)),
+					fmtMs(res.FCT.Percentile(75)), fmtMs(res.FCT.Percentile(95)),
+					fmtMs(res.FCT.Percentile(99)))
 			}
 			return rep
 		},
@@ -211,18 +238,26 @@ func init() {
 			w, m := sweepTimes(o)
 			rep := &Report{ID: "fig9", Title: "FCT by oversubscription ratio at 80% load [ms]",
 				Columns: []string{"ratio", "scheme", "mean", "p50", "p99", "p99.99"}}
-			for _, v := range []struct {
+			ratios := []struct {
 				name   string
 				spines int
-			}{{"1:1", 20}, {"5:3", 12}} {
-				for si, sc := range StdSchemes() {
-					res := Run(RunCfg{Topo: oversubTopo(v.spines, o.Scale), Scheme: sc,
+			}{{"1:1", 20}, {"5:3", 12}}
+			schemes := StdSchemes()
+			var cfgs []RunCfg
+			for _, v := range ratios {
+				for si, sc := range schemes {
+					cfgs = append(cfgs, RunCfg{Topo: oversubTopo(v.spines, o.Scale), Scheme: sc,
 						Seed: o.Seed + int64(si), Load: 0.8, Warmup: w, Measure: m})
-					rep.AddRow(v.name, sc.Name, fmtMs(res.FCT.Mean()),
-						fmtMs(res.FCT.Percentile(50)), fmtMs(res.FCT.Percentile(99)),
-						fmtMs(res.FCT.Percentile(99.99)))
-					o.progress("fig9 %s %s done", v.name, sc.Name)
 				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig9 %s %s done [%s]",
+					ratios[i/len(schemes)].name, schemes[i%len(schemes)].Name, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(ratios[i/len(schemes)].name, schemes[i%len(schemes)].Name,
+					fmtMs(res.FCT.Mean()), fmtMs(res.FCT.Percentile(50)),
+					fmtMs(res.FCT.Percentile(99)), fmtMs(res.FCT.Percentile(99.99)))
 			}
 			return rep
 		},
@@ -235,15 +270,22 @@ func init() {
 			w, m := sweepTimes(o)
 			rep := &Report{ID: "fig10", Title: "VL2 FCT [ms]",
 				Columns: []string{"load", "scheme", "mean", "p50", "p99", "p99.99"}}
-			for _, load := range o.loads([]float64{0.2, 0.7}) {
-				for si, sc := range StdSchemes() {
-					res := Run(RunCfg{Topo: vl2Topo(o.Scale), Scheme: sc,
+			loads, schemes := o.loads([]float64{0.2, 0.7}), StdSchemes()
+			var cfgs []RunCfg
+			for _, load := range loads {
+				for si, sc := range schemes {
+					cfgs = append(cfgs, RunCfg{Topo: vl2Topo(o.Scale), Scheme: sc,
 						Seed: o.Seed + int64(si), Load: load, Warmup: w, Measure: m})
-					rep.AddRow(fmt.Sprintf("%.0f%%", load*100), sc.Name,
-						fmtMs(res.FCT.Mean()), fmtMs(res.FCT.Percentile(50)),
-						fmtMs(res.FCT.Percentile(99)), fmtMs(res.FCT.Percentile(99.99)))
-					o.progress("fig10 %s load=%.0f%% done", sc.Name, load*100)
 				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig10 %s load=%.0f%% done [%s]",
+					schemes[i%len(schemes)].Name, loads[i/len(schemes)]*100, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(fmt.Sprintf("%.0f%%", loads[i/len(schemes)]*100), schemes[i%len(schemes)].Name,
+					fmtMs(res.FCT.Mean()), fmtMs(res.FCT.Percentile(50)),
+					fmtMs(res.FCT.Percentile(99)), fmtMs(res.FCT.Percentile(99.99)))
 			}
 			rep.Note("CONGA runs at the ToRs with ECMP cores (paper footnote 5); " +
 				"DRILL micro-balances at every stage")

@@ -18,16 +18,22 @@ func init() {
 				Title: "Reordering at 80% load",
 				Columns: []string{"scheme", "flows w/ dupACKs %", "flows w/ >=3 dupACKs %",
 					"flows w/ wire reorder %", "retransmits"}}
-			for si, name := range []string{"Random", "RR", "Presto before shim", "DRILL w/o shim", "DRILL", "ECMP", "CONGA"} {
+			names := []string{"Random", "RR", "Presto before shim", "DRILL w/o shim", "DRILL", "ECMP", "CONGA"}
+			var cfgs []RunCfg
+			for si, name := range names {
 				sc, _ := SchemeByName(name)
-				res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
+				cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
 					Seed: o.Seed + int64(si), Load: 0.8, Warmup: w, Measure: m})
-				rep.AddRow(name,
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig11a %s done [%s]", names[i], timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(names[i],
 					fmt.Sprintf("%.2f", 100*res.DupAcks.FracAtLeast(1)),
 					fmt.Sprintf("%.2f", 100*res.DupAcks.FracAtLeast(3)),
 					fmt.Sprintf("%.2f", 100*res.WireReorders.FracAtLeast(1)),
 					fmt.Sprintf("%d", res.Retransmits))
-				o.progress("fig11a %s done", name)
 			}
 			rep.Note("paper: ECMP and CONGA never reorder; DRILL reorders far less than " +
 				"Random/RR at equal granularity; Presto reorders fewer flows but with more dupACKs each")
@@ -128,22 +134,33 @@ func init() {
 				Title: "Incast flows (10KB, 10% of hosts -> 10% of hosts) over background load",
 				Columns: []string{"load", "scheme", "incast mean [ms]", "incast p99 [ms]",
 					"incast p99.99 [ms]", "hop1 q [µs]", "hop1 loss %", "hop2 loss %"}}
-			for _, load := range o.loads([]float64{0.2, 0.35}) {
-				for si, sc := range StdSchemes() {
-					res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
+			loads, schemes := o.loads([]float64{0.2, 0.35}), StdSchemes()
+			var cfgs []RunCfg
+			for _, load := range loads {
+				for si, sc := range schemes {
+					cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: sc,
 						Seed: o.Seed + int64(si), Load: load, Warmup: w, Measure: m,
 						IncastPeriod: period})
-					inc := res.Classes["incast"]
-					if inc == nil {
-						inc = &metrics.Dist{}
-					}
-					rep.AddRow(fmt.Sprintf("%.0f%%", load*100), sc.Name,
-						fmtMs(inc.Mean()), fmtMs(inc.Percentile(99)), fmtMs(inc.Percentile(99.99)),
-						fmtF(res.Hops.MeanQueueing(metrics.Hop1)),
-						fmtF(res.Hops.LossRate(metrics.Hop1)),
-						fmtF(res.Hops.LossRate(metrics.Hop2)))
-					o.progress("fig14 %s load=%.0f%% incast flows=%d", sc.Name, load*100, inc.Count())
 				}
+			}
+			incastDist := func(res *RunResult) *metrics.Dist {
+				if inc := res.Classes["incast"]; inc != nil {
+					return inc
+				}
+				return &metrics.Dist{}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig14 %s load=%.0f%% incast flows=%d [%s]",
+					schemes[i%len(schemes)].Name, loads[i/len(schemes)]*100,
+					incastDist(res).Count(), timing(res))
+			})
+			for i, res := range results {
+				inc := incastDist(res)
+				rep.AddRow(fmt.Sprintf("%.0f%%", loads[i/len(schemes)]*100), schemes[i%len(schemes)].Name,
+					fmtMs(inc.Mean()), fmtMs(inc.Percentile(99)), fmtMs(inc.Percentile(99.99)),
+					fmtF(res.Hops.MeanQueueing(metrics.Hop1)),
+					fmtF(res.Hops.LossRate(metrics.Hop1)),
+					fmtF(res.Hops.LossRate(metrics.Hop2)))
 			}
 			rep.Note("paper: DRILL reacts to the microburst at the first hop, nearly " +
 				"eliminating hop-1 queueing and drops; 2.1x/2.6x lower p99.99 than CONGA/Presto at 20%% load")

@@ -7,18 +7,18 @@ import (
 	"drill/internal/units"
 )
 
-// stdvRun measures the §3.2.3 queue-balance metric for one scheme/engine
-// configuration.
-func stdvRun(o Options, tf func() *topo.Topology, sc Scheme, engines int, load float64, seed int64) *RunResult {
+// stdvCfg configures a §3.2.3 queue-balance run for one scheme/engine
+// cell.
+func stdvCfg(o Options, tf func() *topo.Topology, sc Scheme, engines int, load float64, seed int64) RunCfg {
 	w := lerpTime(300*units.Microsecond, 2*units.Millisecond, o.Scale)
 	m := lerpTime(2*units.Millisecond, 50*units.Millisecond, o.Scale)
-	return Run(RunCfg{
+	return RunCfg{
 		Topo: tf, Scheme: sc, Seed: seed,
 		Engines: engines, Load: load,
 		Warmup: w, Measure: m,
 		SampleQueues: true,
 		DrainLimit:   1 * units.Millisecond, // STDV sampling already stopped
-	})
+	}
 }
 
 // engineSweep returns the engine counts for the Fig. 2 x-axis.
@@ -48,13 +48,21 @@ func fig2(id string, load float64) *Experiment {
 			for _, e := range engines {
 				rep.Columns = append(rep.Columns, fmt.Sprintf("%d-engine", e))
 			}
+			var cfgs []RunCfg
+			for si, sc := range schemes {
+				for ei, e := range engines {
+					cfgs = append(cfgs, stdvCfg(o, stdvTopo(o.Scale), sc, e, load, o.Seed+int64(si*10+ei)))
+				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("%s %s engines=%d upSTDV=%.3f downSTDV=%.3f [%s]",
+					id, schemes[i/len(engines)].Name, engines[i%len(engines)],
+					res.UplinkSTDV, res.DownlinkSTDV, timing(res))
+			})
 			for si, sc := range schemes {
 				row := []string{sc.Name}
-				for ei, e := range engines {
-					res := stdvRun(o, stdvTopo(o.Scale), sc, e, load, o.Seed+int64(si*10+ei))
-					row = append(row, fmt.Sprintf("%.3f", res.UplinkSTDV))
-					o.progress("%s %s engines=%d upSTDV=%.3f downSTDV=%.3f",
-						id, sc.Name, e, res.UplinkSTDV, res.DownlinkSTDV)
+				for ei := range engines {
+					row = append(row, fmt.Sprintf("%.3f", results[si*len(engines)+ei].UplinkSTDV))
 				}
 				rep.AddRow(row...)
 			}
@@ -84,19 +92,31 @@ func init() {
 			if o.Scale >= 0.5 {
 				ds = []int{1, 2, 4, 6, 8, 12, 16, 20}
 			}
+			// Cells are (value, variant-1, variant-2) pairs: the d sweep at
+			// m=1/m=2, then the m sweep at d=1/d=2, flattened in row order.
+			var cfgs []RunCfg
 			for _, d := range ds {
-				r1 := stdvRun(o, stdvTopo(o.Scale), drillScheme(d, 1), engines, 0.8, o.Seed+int64(d))
-				r2 := stdvRun(o, stdvTopo(o.Scale), drillScheme(d, 2), engines, 0.8, o.Seed+int64(d)+50)
-				rep.AddRow("d", fmt.Sprintf("%d", d),
-					fmt.Sprintf("%.3f", r1.UplinkSTDV), fmt.Sprintf("%.3f", r2.UplinkSTDV))
-				o.progress("fig3 d=%d m=1:%.3f m=2:%.3f", d, r1.UplinkSTDV, r2.UplinkSTDV)
+				cfgs = append(cfgs,
+					stdvCfg(o, stdvTopo(o.Scale), drillScheme(d, 1), engines, 0.8, o.Seed+int64(d)),
+					stdvCfg(o, stdvTopo(o.Scale), drillScheme(d, 2), engines, 0.8, o.Seed+int64(d)+50))
 			}
 			for _, m := range ds {
-				r1 := stdvRun(o, stdvTopo(o.Scale), drillScheme(1, m), engines, 0.8, o.Seed+int64(m)+100)
-				r2 := stdvRun(o, stdvTopo(o.Scale), drillScheme(2, m), engines, 0.8, o.Seed+int64(m)+150)
+				cfgs = append(cfgs,
+					stdvCfg(o, stdvTopo(o.Scale), drillScheme(1, m), engines, 0.8, o.Seed+int64(m)+100),
+					stdvCfg(o, stdvTopo(o.Scale), drillScheme(2, m), engines, 0.8, o.Seed+int64(m)+150))
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("fig3 %s upSTDV=%.3f [%s]", cfgs[i].Scheme.Name, res.UplinkSTDV, timing(res))
+			})
+			for di, d := range ds {
+				r1, r2 := results[2*di], results[2*di+1]
+				rep.AddRow("d", fmt.Sprintf("%d", d),
+					fmt.Sprintf("%.3f", r1.UplinkSTDV), fmt.Sprintf("%.3f", r2.UplinkSTDV))
+			}
+			for mi, m := range ds {
+				r1, r2 := results[2*len(ds)+2*mi], results[2*len(ds)+2*mi+1]
 				rep.AddRow("m", fmt.Sprintf("%d", m),
 					fmt.Sprintf("%.3f", r1.UplinkSTDV), fmt.Sprintf("%.3f", r2.UplinkSTDV))
-				o.progress("fig3 m=%d d=1:%.3f d=2:%.3f", m, r1.UplinkSTDV, r2.UplinkSTDV)
 			}
 			rep.Note("paper: with many engines, large d or m herds parallel engines onto " +
 				"the same ports — the synchronization effect — so STDV worsens past small values")
@@ -112,9 +132,11 @@ func init() {
 			rep := &Report{ID: "ablvis",
 				Title:   "DRILL(2,1) vs visibility delay (fraction of MTU serialization)",
 				Columns: []string{"vis-factor", "engines", "uplink STDV", "flows w/ dupACKs %"}}
-			for _, vf := range []float64{0.0001, 0.05, 0.25, 1, 4} {
-				for _, eng := range []int{1, 8} {
-					res := Run(RunCfg{
+			vfs, engs := []float64{0.0001, 0.05, 0.25, 1, 4}, []int{1, 8}
+			var cfgs []RunCfg
+			for _, vf := range vfs {
+				for _, eng := range engs {
+					cfgs = append(cfgs, RunCfg{
 						Topo: fig6Topo(o.Scale), Scheme: drillScheme(2, 1),
 						Seed: o.Seed, Load: 0.8, Engines: eng,
 						Warmup:  lerpTime(500*units.Microsecond, 5*units.Millisecond, o.Scale),
@@ -123,11 +145,16 @@ func init() {
 						VisFactor:    vf,
 						SampleQueues: true,
 					})
-					rep.AddRow(fmt.Sprintf("%g", vf), fmt.Sprintf("%d", eng),
-						fmt.Sprintf("%.3f", res.UplinkSTDV),
-						fmt.Sprintf("%.2f", 100*res.DupAcks.FracAtLeast(1)))
-					o.progress("ablvis vf=%g eng=%d done", vf, eng)
 				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("ablvis vf=%g eng=%d done [%s]",
+					vfs[i/len(engs)], engs[i%len(engs)], timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(fmt.Sprintf("%g", vfs[i/len(engs)]), fmt.Sprintf("%d", engs[i%len(engs)]),
+					fmt.Sprintf("%.3f", res.UplinkSTDV),
+					fmt.Sprintf("%.2f", 100*res.DupAcks.FracAtLeast(1)))
 			}
 			rep.Note("stale counters recreate the §3.2.3 synchronization effect even " +
 				"with few engines; fresh-but-imprecise counters (small factors) match the paper's model")

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see skipSlow.
+const raceEnabled = false

@@ -9,9 +9,7 @@ import (
 // TestProbeReordering diagnoses dup-ACK generation per scheme (Fig. 11a's
 // metric) on the small fig6 fabric at 80% load.
 func TestProbeReordering(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	for _, name := range []string{"Random", "RR", "Presto before shim", "DRILL w/o shim"} {
 		sc, ok := SchemeByName(name)
 		if !ok {

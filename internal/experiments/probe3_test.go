@@ -9,9 +9,7 @@ import (
 // TestProbeVisibility isolates reordering causes: oracle counters
 // (VisFactor 0) vs delayed, and more spines (shallower per-path bursts).
 func TestProbeVisibility(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	sc, _ := SchemeByName("DRILL w/o shim")
 	for _, v := range []struct {
 		name string

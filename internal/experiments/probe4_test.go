@@ -11,9 +11,7 @@ import (
 // TestProbeBurstiness maps arrival burstiness to reordering and to the
 // ECMP-vs-DRILL FCT gap.
 func TestProbeBurstiness(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	for _, burst := range []int{1, 4, 8} {
 		for _, name := range []string{"ECMP", "Random", "DRILL w/o shim"} {
 			sc, _ := SchemeByName(name)

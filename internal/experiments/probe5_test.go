@@ -8,9 +8,7 @@ import (
 
 // TestProbeQueueSTDV checks the Fig. 2 metric on the small fabric.
 func TestProbeQueueSTDV(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	for _, name := range []string{"ECMP", "Random", "RR", "DRILL w/o shim"} {
 		sc, _ := SchemeByName(name)
 		res := Run(RunCfg{

@@ -8,9 +8,7 @@ import (
 
 // TestProbeVisSTDV maps visibility delay to DRILL's queue balance.
 func TestProbeVisSTDV(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	sc, _ := SchemeByName("DRILL w/o shim")
 	for _, vf := range []float64{1, 0.25, 0.05, 0.0001} {
 		res := Run(RunCfg{

@@ -8,9 +8,7 @@ import (
 
 // TestProbeWireReorder separates wire reordering from dup-ACK counts.
 func TestProbeWireReorder(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	for _, name := range []string{"Random", "RR", "Presto before shim", "DRILL w/o shim", "ECMP"} {
 		sc, _ := SchemeByName(name)
 		res := Run(RunCfg{

@@ -10,9 +10,7 @@ import (
 
 // TestProbeInversionBlame localizes which hop causes wire reordering.
 func TestProbeInversionBlame(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	sc, _ := SchemeByName("DRILL w/o shim")
 	var blame [6]int64
 	res := Run(RunCfg{

@@ -10,9 +10,7 @@ import (
 // TestProbeHopBreakdown is a diagnostic: run with -v to see where queueing
 // and drops happen per scheme at 80% load on the small fig6 fabric.
 func TestProbeHopBreakdown(t *testing.T) {
-	if testing.Short() {
-		t.Skip("diagnostic probe")
-	}
+	skipSlow(t, "diagnostic probe")
 	for _, name := range []string{"ECMP", "DRILL w/o shim", "DRILL"} {
 		sc, ok := SchemeByName(name)
 		if !ok {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"time"
+
 	"drill/internal/fabric"
 	"drill/internal/metrics"
 	"drill/internal/sim"
@@ -97,10 +99,27 @@ type RunResult struct {
 	CoreUtil float64
 
 	Events uint64
+
+	// Wall is the host wall-clock duration of the run, setup through
+	// drain; SimSpan is the simulated time it covered. Together they give
+	// the sim-time/real-time ratio of per-cell progress lines.
+	Wall    time.Duration
+	SimSpan units.Time
+}
+
+// SimRate returns simulated seconds advanced per wall-clock second.
+func (r *RunResult) SimRate() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return r.SimSpan.Seconds() / r.Wall.Seconds()
 }
 
 // Run executes one configured simulation and collects its measurements.
+// A run is fully self-contained (own event queue, RNG streams, network and
+// host state), so distinct runs may execute concurrently; see RunAll.
 func Run(cfg RunCfg) *RunResult {
+	started := time.Now()
 	if cfg.Warmup == 0 {
 		cfg.Warmup = 1 * units.Millisecond
 	}
@@ -210,6 +229,8 @@ func Run(cfg RunCfg) *RunResult {
 		GROSegments:  reg.Stats.GROSegments,
 		CoreUtil:     coreUtil,
 		Events:       s.Executed,
+		Wall:         time.Since(started),
+		SimSpan:      end + cfg.DrainLimit,
 	}
 	if sampler != nil {
 		res.UplinkSTDV = sampler.up.Mean()

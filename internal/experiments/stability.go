@@ -18,7 +18,7 @@ func init() {
 			rep := &Report{ID: "stability",
 				Title:   fmt.Sprintf("M=%d engines, N=%d queues, adversarial-but-admissible rates, %d slots", m, n, slots),
 				Columns: []string{"policy", "total queue @T/2", "total queue @T", "throughput", "Lyapunov V @T"}}
-			for _, cfg := range []struct {
+			policies := []struct {
 				name string
 				d, q int
 			}{
@@ -27,16 +27,32 @@ func init() {
 				{"DRILL(1,1)", 1, 1},
 				{"DRILL(2,1)", 2, 1},
 				{"DRILL(2,4)", 2, 4},
-			} {
+			}
+			// The queueing sims are independent per policy, so they fan out
+			// on the same worker pool as the packet-level sweeps.
+			type stabCell struct {
+				half, final int64
+				thr, lyap   float64
+			}
+			rows, _ := Fan(len(policies), o.Workers, func(i int) (stabCell, error) {
+				cfg := policies[i]
 				s := queueing.New(m, n, cfg.d, cfg.q, arr, svc, o.Seed)
 				s.Run(slots / 2)
 				half := s.TotalQueue()
 				s.Run(slots - slots/2)
-				thr := float64(s.TotalServed) / float64(s.TotalArrived)
-				rep.AddRow(cfg.name,
-					fmt.Sprintf("%d", half), fmt.Sprintf("%d", s.TotalQueue()),
-					fmt.Sprintf("%.4f", thr), fmt.Sprintf("%.3g", s.Lyapunov()))
-				o.progress("stability %s done", cfg.name)
+				return stabCell{
+					half:  int64(half),
+					final: int64(s.TotalQueue()),
+					thr:   float64(s.TotalServed) / float64(s.TotalArrived),
+					lyap:  s.Lyapunov(),
+				}, nil
+			}, func(i int, c stabCell) {
+				o.progress("stability %s done", policies[i].name)
+			})
+			for i, c := range rows {
+				rep.AddRow(policies[i].name,
+					fmt.Sprintf("%d", c.half), fmt.Sprintf("%d", c.final),
+					fmt.Sprintf("%.4f", c.thr), fmt.Sprintf("%.3g", c.lyap))
 			}
 			rep.Note("Theorem 1: memoryless variants grow without bound under admissible " +
 				"heterogeneous service; Theorem 2: one memory unit restores stability and ~100%% throughput")

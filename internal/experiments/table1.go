@@ -16,19 +16,20 @@ type table1Result struct {
 	miceTail     float64
 }
 
-func runTable1(o Options, pattern string, sc Scheme, seed int64) table1Result {
+// table1Cfg configures one pattern × scheme run; the Synthetic closure is
+// built per-config so concurrent cells share no workload state.
+func table1Cfg(o Options, pattern string, sc Scheme, seed int64) RunCfg {
 	w := lerpTime(500*units.Microsecond, 2*units.Millisecond, o.Scale)
 	m := lerpTime(8*units.Millisecond, 100*units.Millisecond, o.Scale)
 	micePeriod := lerpTime(400*units.Microsecond, 2*units.Millisecond, o.Scale)
-	var syn *workload.Synthetic
-	res := Run(RunCfg{
+	return RunCfg{
 		Topo:    table1Topo,
 		Scheme:  sc,
 		Seed:    seed,
 		Warmup:  w,
 		Measure: m,
 		Synthetic: func(reg *transport.Registry, until units.Time) *workload.Synthetic {
-			syn = workload.NewSynthetic(reg, micePeriod, until)
+			syn := workload.NewSynthetic(reg, micePeriod, until)
 			t := reg.Net.Topo
 			switch pattern {
 			case "stride":
@@ -43,7 +44,11 @@ func runTable1(o Options, pattern string, sc Scheme, seed int64) table1Result {
 			}
 			return syn
 		},
-	})
+	}
+}
+
+// table1Cell extracts the Table 1 metrics from a finished run.
+func table1Cell(res *RunResult) table1Result {
 	mice := res.Classes["mice"]
 	if mice == nil {
 		mice = &metrics.Dist{}
@@ -65,13 +70,24 @@ func init() {
 				Title:   "Stride(8)/Bijection/Shuffle — normalized to ECMP (raw in parentheses)",
 				Columns: []string{"pattern", "metric", "ECMP", "CONGA", "Presto", "DRILL"}}
 			schemes := []string{"ECMP", "CONGA", "Presto", "DRILL"}
-			for _, pattern := range []string{"stride", "bijection", "shuffle"} {
-				cells := map[string]table1Result{}
+			patterns := []string{"stride", "bijection", "shuffle"}
+			var cfgs []RunCfg
+			for _, pattern := range patterns {
 				for si, name := range schemes {
 					sc, _ := SchemeByName(name)
-					cells[name] = runTable1(o, pattern, sc, o.Seed+int64(si))
-					o.progress("table1 %s %s done (eleph=%.2fGbps mice=%.3fms)",
-						pattern, name, cells[name].elephantGbps, cells[name].miceMean)
+					cfgs = append(cfgs, table1Cfg(o, pattern, sc, o.Seed+int64(si)))
+				}
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				c := table1Cell(res)
+				o.progress("table1 %s %s done (eleph=%.2fGbps mice=%.3fms) [%s]",
+					patterns[i/len(schemes)], schemes[i%len(schemes)],
+					c.elephantGbps, c.miceMean, timing(res))
+			})
+			for pi, pattern := range patterns {
+				cells := map[string]table1Result{}
+				for si, name := range schemes {
+					cells[name] = table1Cell(results[pi*len(schemes)+si])
 				}
 				base := cells["ECMP"]
 				norm := func(v, b float64) string {
@@ -108,17 +124,19 @@ func init() {
 			rep := &Report{ID: "engines",
 				Title:   "DRILL(2,1) mean FCT [ms] vs engines per switch, 80% load",
 				Columns: []string{"engines", "mean FCT", "p99.99 FCT", "uplink STDV"}}
-			var first float64
-			for _, e := range []int{1, 4, 16, 48} {
-				res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: drillScheme(2, 1),
+			engs := []int{1, 4, 16, 48}
+			var cfgs []RunCfg
+			for _, e := range engs {
+				cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: drillScheme(2, 1),
 					Seed: o.Seed, Load: 0.8, Engines: e, Warmup: w, Measure: m,
 					SampleQueues: true})
-				if first == 0 {
-					first = res.FCT.Mean()
-				}
-				rep.AddRow(fmt.Sprintf("%d", e), fmtMs(res.FCT.Mean()),
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("engines=%d done [%s]", engs[i], timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(fmt.Sprintf("%d", engs[i]), fmtMs(res.FCT.Mean()),
 					fmtMs(res.FCT.Percentile(99.99)), fmt.Sprintf("%.3f", res.UplinkSTDV))
-				o.progress("engines=%d done", e)
 			}
 			rep.Note("paper: <1%% mean-FCT difference between 1- and 48-engine switches")
 			return rep
@@ -136,16 +154,22 @@ func init() {
 			rep := &Report{ID: "idealdrill",
 				Title:   fmt.Sprintf("DRILL under %d mid-run failures at 70%% load", fails),
 				Columns: []string{"variant", "mean FCT [ms]", "p50 [ms]", "p99.99 [ms]"}}
-			for _, v := range []struct {
+			variants := []struct {
 				name    string
 				instant bool
-			}{{"DRILL (OSPF delay)", false}, {"ideal-DRILL (instant)", true}} {
-				res := Run(RunCfg{Topo: fig6Topo(o.Scale), Scheme: mustScheme("DRILL"),
+			}{{"DRILL (OSPF delay)", false}, {"ideal-DRILL (instant)", true}}
+			var cfgs []RunCfg
+			for _, v := range variants {
+				cfgs = append(cfgs, RunCfg{Topo: fig6Topo(o.Scale), Scheme: mustScheme("DRILL"),
 					Seed: o.Seed, Load: 0.7, Warmup: w, Measure: m,
 					FailLinks: fails, FailAt: failAt, InstantReconverge: v.instant})
-				rep.AddRow(v.name, fmtMs(res.FCT.Mean()),
+			}
+			results := o.runAll(cfgs, func(i int, res *RunResult) {
+				o.progress("idealdrill %s done [%s]", variants[i].name, timing(res))
+			})
+			for i, res := range results {
+				rep.AddRow(variants[i].name, fmtMs(res.FCT.Mean()),
 					fmtMs(res.FCT.Percentile(50)), fmtMs(res.FCT.Percentile(99.99)))
-				o.progress("idealdrill %s done", v.name)
 			}
 			rep.Note("paper: ideal-DRILL improves median FCT by <0.6%% — the OSPF " +
 				"reaction delay is negligible")
