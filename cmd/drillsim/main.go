@@ -5,11 +5,19 @@
 //
 //	drillsim -list
 //	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-workers 4] [-q]
+//	drillsim -exp qtrace -trace events.csv [-trace-sample 10us]
+//	drillsim -exp fig6a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	drillsim -exp all
 //
 // Sweep cells fan out across -workers goroutines; reports are
 // byte-identical for a fixed seed at any worker count, and -workers 1
 // reproduces the fully sequential behavior.
+//
+// -trace streams every run's packet-lifecycle and queue-sample events to a
+// file (CSV, or JSON-lines with a .jsonl/.json extension; see
+// internal/trace for the schema). Tracing forces -workers 1 so the shared
+// file sees runs whole and in order; with tracing off the data plane runs
+// its zero-allocation fast path.
 package main
 
 import (
@@ -17,11 +25,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"drill/internal/experiments"
+	"drill/internal/trace"
+	"drill/internal/units"
 )
 
 func main() {
@@ -35,6 +46,11 @@ func main() {
 		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
 		format  = flag.String("format", "table", "output format: table | csv | json")
 		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+
+		traceOut    = flag.String("trace", "", "write per-event trace to this file (.csv, or .jsonl/.json for JSON-lines)")
+		traceSample = flag.Duration("trace-sample", 10*time.Microsecond, "queue-depth/utilization sampling period when -trace is set")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -64,7 +80,61 @@ func main() {
 		resolved = n
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drillsim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "drillsim: cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: heap profile: %v\n", err)
+			}
+		}()
+	}
+
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Workers: resolved}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drillsim: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		var sink trace.Sink
+		if strings.HasSuffix(*traceOut, ".jsonl") || strings.HasSuffix(*traceOut, ".json") {
+			sink = trace.NewJSONL(f)
+		} else {
+			sink = trace.NewCSV(f)
+		}
+		opts.TraceSink = sink
+		opts.TraceSample = units.Time(traceSample.Nanoseconds())
+		if resolved > 1 && !*quiet {
+			fmt.Fprintf(os.Stderr, "drillsim: -trace forces sequential runs (-workers 1)\n")
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "drillsim: %d worker(s) (%d CPUs), seed %d, scale %g, reps %d\n",
 			resolved, runtime.NumCPU(), *seed, *scale, *reps)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"drill/internal/trace"
 	"drill/internal/units"
 )
 
@@ -48,4 +49,52 @@ func BenchmarkSweepWorkers(b *testing.B) {
 			benchmarkSweep(b, w)
 		})
 	}
+}
+
+// benchTraceCell is the reference fig6a cell the trace-overhead benchmarks
+// share. Comparing BenchmarkRunCellNoTrace against the Traced variants (and
+// against its own numbers from before the trace layer existed) bounds the
+// instrumentation cost; the nil-tracer path must stay within noise of the
+// pre-instrumentation data plane, with zero allocations from the emit sites
+// themselves (see internal/trace's AllocsPerRun tests for the per-site
+// proof).
+func benchTraceCell() RunCfg {
+	sc, _ := SchemeByName("DRILL")
+	return RunCfg{
+		Topo: fig6Topo(0), Scheme: sc, Seed: 1, Load: 0.5,
+		Warmup:  200 * units.Microsecond,
+		Measure: 1 * units.Millisecond,
+	}
+}
+
+func benchmarkRunCell(b *testing.B, attach func(cfg *RunCfg)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchTraceCell()
+		if attach != nil {
+			attach(&cfg)
+		}
+		if res := Run(cfg); res.FCT.Count() == 0 {
+			b.Fatal("empty cell")
+		}
+	}
+}
+
+// BenchmarkRunCellNoTrace is the baseline: tracer nil, data plane on the
+// zero-overhead fast path.
+func BenchmarkRunCellNoTrace(b *testing.B) { benchmarkRunCell(b, nil) }
+
+// BenchmarkRunCellTraceCounts attaches a counts-only tracer (nil sink):
+// every lifecycle event is tallied but none is materialized.
+func BenchmarkRunCellTraceCounts(b *testing.B) {
+	benchmarkRunCell(b, func(cfg *RunCfg) { cfg.Tracer = trace.New(nil) })
+}
+
+// BenchmarkRunCellTraceRing attaches a ring sink plus the 10µs sampler —
+// the full-capture configuration qtrace runs.
+func BenchmarkRunCellTraceRing(b *testing.B) {
+	benchmarkRunCell(b, func(cfg *RunCfg) {
+		cfg.Tracer = trace.New(trace.NewRing(1 << 20))
+		cfg.TraceSample = 10 * units.Microsecond
+	})
 }

@@ -75,3 +75,12 @@ func TestQuickParallelDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestQTraceParallelDeterminism: the qtrace report reduces rings that are
+// private to each run, so it must stay byte-identical whether the three
+// scheme runs execute sequentially or concurrently (tracing to a *shared*
+// sink is what forces workers=1, not ring capture).
+func TestQTraceParallelDeterminism(t *testing.T) {
+	skipSlow(t, "qtrace triple run")
+	runDeterminism(t, "qtrace", Options{Seed: 1}, []int{1, 3})
+}

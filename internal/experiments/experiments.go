@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"drill/internal/trace"
 	"drill/internal/units"
 )
 
@@ -39,6 +40,15 @@ type Options struct {
 	// fan-out pool serializes calls, so the callback may touch shared
 	// state without locking.
 	Progress func(format string, args ...any)
+
+	// TraceSink, when non-nil, streams every run's packet-lifecycle events
+	// into the sink, each run tagged with its cell index. Tracing forces
+	// the sweep sequential (workers=1): a shared file sink is not safe for,
+	// and its interleaving not meaningful under, concurrent runs.
+	TraceSink trace.Sink
+	// TraceSample is the queue-depth/utilization sampling period used when
+	// tracing is on (default 10µs).
+	TraceSample units.Time
 }
 
 func (o *Options) defaults() {
@@ -54,6 +64,9 @@ func (o *Options) defaults() {
 	if o.Reps < 1 {
 		o.Reps = 1
 	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 10 * units.Microsecond
+	}
 }
 
 func (o *Options) progress(format string, args ...any) {
@@ -62,9 +75,22 @@ func (o *Options) progress(format string, args ...any) {
 	}
 }
 
-// runAll fans cfgs out on the option's worker count; see RunAll.
+// runAll fans cfgs out on the option's worker count; see RunAll. With a
+// TraceSink configured, each cell that does not already carry a tracer of
+// its own gets one tagged with the cell index, and the sweep degrades to
+// sequential so the shared sink sees runs whole and in order.
 func (o *Options) runAll(cfgs []RunCfg, done func(i int, res *RunResult)) []*RunResult {
-	return RunAll(cfgs, o.Workers, done)
+	w := o.Workers
+	if o.TraceSink != nil {
+		w = 1
+		for i := range cfgs {
+			if cfgs[i].Tracer == nil {
+				cfgs[i].Tracer = trace.New(o.TraceSink, trace.WithRun(int32(i)))
+				cfgs[i].TraceSample = o.TraceSample
+			}
+		}
+	}
+	return RunAll(cfgs, w, done)
 }
 
 // timing renders the per-cell run-timing suffix of progress lines.

@@ -17,6 +17,7 @@ var designIDs = []string{
 	"fig11a", "fig11bc", "fig12", "fig13", "fig14",
 	"table1", "stability", "engines", "idealdrill",
 	"ablvis", "ablgran", "ablasym",
+	"qtrace",
 }
 
 // skipSlow skips diagnostic probes and full-scale sweeps in -short mode

@@ -7,6 +7,7 @@ import (
 	"drill/internal/metrics"
 	"drill/internal/sim"
 	"drill/internal/topo"
+	"drill/internal/trace"
 	"drill/internal/transport"
 	"drill/internal/units"
 	"drill/internal/workload"
@@ -63,6 +64,14 @@ type RunCfg struct {
 	TrackGRO bool
 	// VisFactor overrides the queue-visibility delay factor (default 1).
 	VisFactor float64
+
+	// Tracer, when non-nil, receives this run's packet-lifecycle events
+	// (see internal/trace). Nil keeps the data plane on its zero-overhead
+	// fast path.
+	Tracer *trace.Tracer
+	// TraceSample, when > 0 with a Tracer attached, starts the periodic
+	// queue-depth / port-utilization sampler at that interval.
+	TraceSample units.Time
 
 	// Synthetic, when non-nil, replaces the Poisson workload (Table 1).
 	Synthetic func(reg *transport.Registry, until units.Time) *workload.Synthetic
@@ -136,7 +145,11 @@ func Run(cfg RunCfg) *RunResult {
 		Engines:   cfg.Engines,
 		QueueCap:  cfg.QueueCap,
 		VisFactor: cfg.VisFactor,
+		Tracer:    cfg.Tracer,
 	})
+	if cfg.Tracer != nil && cfg.TraceSample > 0 {
+		fabric.StartTraceSampler(net, cfg.TraceSample)
+	}
 	reg := transport.NewRegistry(s, net, transport.Config{
 		ShimTimeout: cfg.Scheme.Shim,
 		TrackGRO:    cfg.TrackGRO,

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/fabric"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/trace"
+	"drill/internal/transport"
+	"drill/internal/units"
+	"drill/internal/workload"
+)
+
+// checkConservation asserts the packet-conservation law at the current sim
+// instant: every packet a host ever sent is in exactly one of four places —
+// delivered to a destination host, dropped, sitting in a port queue, or on
+// the wire between a transmitter and its receiver. The first three come
+// from trace event counts and the fabric's queue occupancy; the wire
+// population is LinkDepart − Arrive − Deliver, since each departure is
+// matched by exactly one switch arrival or host delivery.
+func checkConservation(t *testing.T, when string, tr *trace.Tracer, net *fabric.Network) {
+	t.Helper()
+	sent := tr.Count(trace.Send)
+	delivered := tr.Count(trace.Deliver)
+	dropped := tr.Count(trace.Drop)
+	queued := net.QueuedPackets()
+	inflight := tr.Count(trace.LinkDepart) - tr.Count(trace.Arrive) - delivered
+	if inflight < 0 {
+		t.Errorf("%s: in-flight packet count is negative (%d): departs=%d arrives=%d delivers=%d",
+			when, inflight, tr.Count(trace.LinkDepart), tr.Count(trace.Arrive), delivered)
+	}
+	if got := delivered + dropped + queued + inflight; got != sent {
+		t.Errorf("%s: conservation violated: sent=%d but delivered=%d + dropped=%d + queued=%d + inflight=%d = %d",
+			when, sent, delivered, dropped, queued, inflight, got)
+	}
+	// The trace layer and the fabric's own aggregate counters are
+	// independent tallies of the same events; they must agree exactly.
+	if delivered != net.Delivered {
+		t.Errorf("%s: trace counted %d delivers, fabric counted %d", when, delivered, net.Delivered)
+	}
+	if drops := net.Hops.TotalDrops(); dropped != drops {
+		t.Errorf("%s: trace counted %d drops, fabric counted %d", when, dropped, drops)
+	}
+}
+
+// conservationRun drives one short, deliberately lossy run (tiny queues at
+// high load) of the given scheme with a counts-only tracer attached and
+// checks conservation at several mid-run instants — queues and wires
+// populated — and once more after the drain window. The law holds at *any*
+// instant; the fabric need not be idle (lossy flows may still be
+// retransmitting), it only has to account for every packet.
+func conservationRun(t *testing.T, sc Scheme, failAt units.Time) {
+	tp := topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 4, Leaves: 4, HostsPerLeaf: 4,
+		CoreRate: 10 * units.Gbps, HostRate: 10 * units.Gbps,
+	})
+	s := sim.New(7)
+	tr := trace.New(nil) // counts only: no sink allocation, pure tallies
+	net := fabric.New(s, tp, fabric.Config{
+		Balancer: sc.New(),
+		QueueCap: 8, // small caps force enqueue-overflow drops
+		Tracer:   tr,
+	})
+	reg := transport.NewRegistry(s, net, transport.Config{ShimTimeout: sc.Shim})
+	end := 800 * units.Microsecond
+	g := workload.NewGenerator(reg, workload.Truncate(workload.FacebookCache, 2e6),
+		workload.Load(1.0), end)
+	g.Start()
+	if failAt > 0 {
+		s.At(failAt, func() {
+			failRandomUplinks(tp, net, 2, 7, false)
+		})
+	}
+
+	for _, at := range []units.Time{end / 4, end / 2, 3 * end / 4} {
+		at := at
+		s.At(at, func() { checkConservation(t, at.String(), tr, net) })
+	}
+	s.RunUntil(end + 10*units.Millisecond)
+	s.Halt()
+
+	checkConservation(t, "post-drain", tr, net)
+	if sent := tr.Count(trace.Send); sent == 0 {
+		t.Fatal("run sent no packets; the invariant was checked vacuously")
+	}
+	if tr.Count(trace.Deliver) == 0 {
+		t.Fatal("run delivered no packets; the invariant was checked vacuously")
+	}
+}
+
+// TestPacketConservation runs the conservation invariant against every
+// standard scheme — each exercises a different enqueue/forward path through
+// the fabric — plus a mid-run link-failure variant that exercises the
+// dead-link and queue-drain drop paths.
+func TestPacketConservation(t *testing.T) {
+	for _, name := range []string{"ECMP", "Random", "RR", "WCMP", "CONGA", "Presto", "DRILL"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc, ok := SchemeByName(name)
+			if !ok {
+				t.Fatalf("unknown scheme %q", name)
+			}
+			conservationRun(t, sc, 0)
+		})
+	}
+	t.Run("DRILL/link-failure", func(t *testing.T) {
+		t.Parallel()
+		sc, _ := SchemeByName("DRILL")
+		conservationRun(t, sc, 300*units.Microsecond)
+	})
+}
+
+// TestConservationSeesDrops guards the guard: the lossy configuration the
+// conservation runs use must actually drop packets, or the drop terms of
+// the invariant go untested.
+func TestConservationSeesDrops(t *testing.T) {
+	tp := topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 4, Leaves: 4, HostsPerLeaf: 4,
+		CoreRate: 10 * units.Gbps, HostRate: 10 * units.Gbps,
+	})
+	s := sim.New(7)
+	tr := trace.New(nil)
+	sc, _ := SchemeByName("ECMP")
+	net := fabric.New(s, tp, fabric.Config{Balancer: sc.New(), QueueCap: 8, Tracer: tr})
+	reg := transport.NewRegistry(s, net, transport.Config{})
+	end := 800 * units.Microsecond
+	g := workload.NewGenerator(reg, workload.Truncate(workload.FacebookCache, 2e6),
+		workload.Load(1.0), end)
+	g.Start()
+	s.RunUntil(end + 10*units.Millisecond)
+	s.Halt()
+	if tr.Count(trace.Drop) == 0 {
+		t.Error("8-packet queues at 100% ECMP load dropped nothing; tighten the conservation fixture")
+	}
+}

@@ -1,6 +1,9 @@
 package fabric
 
-import "drill/internal/topo"
+import (
+	"drill/internal/topo"
+	"drill/internal/trace"
+)
 
 // PacketHandler consumes packets delivered to a host; the transport layer
 // implements it.
@@ -34,6 +37,9 @@ func (h *Host) Send(pkt *Packet) {
 	pkt.PathIdx = 0
 	if h.net.sendHook != nil {
 		h.net.sendHook.OnSend(h.net, h, pkt)
+	}
+	if h.net.tracer != nil {
+		h.net.tracer.Packet(trace.Send, pkt.Sent, h.NIC.Index, uint8(h.NIC.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), h.NIC.QPkts)
 	}
 	h.net.enqueue(h.NIC, pkt)
 }

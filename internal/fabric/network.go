@@ -7,6 +7,7 @@ import (
 	"drill/internal/metrics"
 	"drill/internal/sim"
 	"drill/internal/topo"
+	"drill/internal/trace"
 	"drill/internal/units"
 )
 
@@ -61,6 +62,12 @@ type Config struct {
 	ECNThreshold int
 
 	Balancer Balancer
+
+	// Tracer, when non-nil, receives packet-lifecycle events (enqueue,
+	// drop, tx-start, link-depart, arrive, deliver) from this network's
+	// data plane. Nil — the default — costs one branch per site and zero
+	// allocations; see internal/trace.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) defaults() {
@@ -116,6 +123,7 @@ type Network struct {
 	txObs     TxObserver
 	arriveObs ArriveObserver
 	sendHook  SendHook
+	tracer    *trace.Tracer
 }
 
 // New assembles a network over t with the given balancer. Routes are
@@ -132,6 +140,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 		Switches: make(map[topo.NodeID]*Switch),
 		hosts:    make(map[topo.NodeID]*Host),
 		balancer: cfg.Balancer,
+		tracer:   cfg.Tracer,
 	}
 	n.txObs, _ = cfg.Balancer.(TxObserver)
 	n.arriveObs, _ = cfg.Balancer.(ArriveObserver)
@@ -217,6 +226,19 @@ func (n *Network) PortOfChan(c topo.ChanID) *Port { return n.Ports[n.chanPort[c]
 
 // Balancer returns the active load-balancing policy.
 func (n *Network) Balancer() Balancer { return n.balancer }
+
+// Tracer returns the telemetry tracer, nil when tracing is off.
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
+
+// QueuedPackets sums the true occupancy of every port — the "still-queued"
+// term of the packet-conservation invariant.
+func (n *Network) QueuedPackets() int64 {
+	var q int64
+	for _, p := range n.Ports {
+		q += int64(p.QPkts)
+	}
+	return q
+}
 
 // Reconverge recomputes routing from the topology's current link state and
 // rebuilds forwarding tables — the control-plane (OSPF+ECMP) step. It is
@@ -345,11 +367,17 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 	if !p.up {
 		p.Drops++
 		n.Hops.RecordDrop(p.Hop)
+		if n.tracer != nil {
+			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+		}
 		return
 	}
 	if p.Cap > 0 && int(p.QPkts) >= p.Cap {
 		p.Drops++
 		n.Hops.RecordDrop(p.Hop)
+		if n.tracer != nil {
+			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+		}
 		return
 	}
 	pkt.enqAt = n.Sim.Now()
@@ -359,6 +387,9 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 	p.pushQueue(pkt)
 	p.QPkts++
 	p.QBytes += int64(pkt.Size)
+	if n.tracer != nil {
+		n.tracer.Packet(trace.Enqueue, pkt.enqAt, p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+	}
 	size := pkt.Size
 	if p.visDelay <= 0 {
 		p.applyVisibility(size)
@@ -379,6 +410,10 @@ func (n *Network) transmit(p *Port) {
 	pkt.HopWaitNs[p.Hop] += int32(wait)
 	// The head leaves the waiting queue as it starts onto the wire.
 	p.departVisibility(pkt.Size)
+	if n.tracer != nil {
+		n.tracer.Emit(trace.Event{T: n.Sim.Now(), Kind: trace.TxStart, Port: p.Index, Hop: uint8(p.Hop),
+			Flow: pkt.FlowID, Seq: pkt.Seq, Size: int32(pkt.Size), QLen: p.QPkts, Val: float64(wait)})
+	}
 	txT := units.TxTime(pkt.Size, p.Rate)
 	if n.txObs != nil {
 		n.txObs.OnTx(n, p, pkt)
@@ -394,6 +429,9 @@ func (n *Network) txDone(p *Port) {
 	p.TxBytes += int64(pkt.Size)
 	p.busy = false
 	if p.up {
+		if n.tracer != nil {
+			n.tracer.Packet(trace.LinkDepart, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+		}
 		to := p.To
 		in := p.Chan
 		n.Sim.After(p.Prop, func() { n.arrive(pkt, to, in) })
@@ -405,6 +443,9 @@ func (n *Network) txDone(p *Port) {
 	// Link died mid-flight: the packet is lost, and so is anything queued.
 	p.Drops++
 	n.Hops.RecordDrop(p.Hop)
+	if n.tracer != nil {
+		n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+	}
 	n.drainPort(p)
 }
 
@@ -417,6 +458,9 @@ func (n *Network) drainPort(p *Port) {
 		p.departVisibility(pkt.Size)
 		p.Drops++
 		n.Hops.RecordDrop(p.Hop)
+		if n.tracer != nil {
+			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+		}
 	}
 }
 
@@ -424,12 +468,20 @@ func (n *Network) drainPort(p *Port) {
 func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 	if h, ok := n.hosts[at]; ok {
 		n.Delivered++
+		if n.tracer != nil {
+			n.tracer.Packet(trace.Deliver, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
+				pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+		}
 		if h.Handler != nil {
 			h.Handler.HandlePacket(h, pkt)
 		}
 		return
 	}
 	sw := n.Switches[at]
+	if n.tracer != nil {
+		n.tracer.Packet(trace.Arrive, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
+			pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+	}
 	pkt.Hops++
 	if pkt.Hops > MaxHops {
 		panic(fmt.Sprintf("fabric: packet exceeded %d hops (routing loop?) flow=%d at=%s",
@@ -467,6 +519,9 @@ func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
 	if len(groups) == 0 {
 		// Destination unreachable from here (mid-failure window): drop.
 		n.Hops.RecordDrop(metrics.Hop1)
+		if n.tracer != nil {
+			n.tracer.Packet(trace.Drop, n.Sim.Now(), -1, uint8(metrics.Hop1), pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+		}
 		return
 	}
 	var port int32

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDistEmpty pins the zero-value contract: every accessor of an empty
+// distribution returns 0 (or nil) rather than panicking or dividing by zero.
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Count() != 0 {
+		t.Errorf("Count() = %d, want 0", d.Count())
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if v := d.Percentile(p); v != 0 {
+			t.Errorf("Percentile(%v) = %v, want 0", p, v)
+		}
+	}
+	if d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.StdDev() != 0 {
+		t.Errorf("empty stats = mean %v min %v max %v stddev %v, want all 0",
+			d.Mean(), d.Min(), d.Max(), d.StdDev())
+	}
+	if pts := d.CDF(10); pts != nil {
+		t.Errorf("CDF(10) = %v, want nil", pts)
+	}
+}
+
+// TestDistSingleSample: with one sample every order statistic collapses to
+// that value and the CDF is the single point (x, 1).
+func TestDistSingleSample(t *testing.T) {
+	var d Dist
+	d.Add(3.5)
+	for _, p := range []float64{0, 0.001, 50, 99.9, 100} {
+		if v := d.Percentile(p); v != 3.5 {
+			t.Errorf("Percentile(%v) = %v, want 3.5", p, v)
+		}
+	}
+	if d.Mean() != 3.5 || d.Min() != 3.5 || d.Max() != 3.5 {
+		t.Errorf("stats = mean %v min %v max %v, want all 3.5", d.Mean(), d.Min(), d.Max())
+	}
+	if d.StdDev() != 0 {
+		t.Errorf("StdDev() = %v, want 0", d.StdDev())
+	}
+	pts := d.CDF(10)
+	if len(pts) != 1 || pts[0].X != 3.5 || pts[0].F != 1 {
+		t.Errorf("CDF(10) = %v, want [{3.5 1}]", pts)
+	}
+}
+
+// TestDistPercentileBounds: p=0 clamps to the minimum (nearest-rank's
+// rank-0 floor), p=100 is exactly the maximum, and out-of-range p values
+// stay clamped instead of indexing out of bounds.
+func TestDistPercentileBounds(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{5, 1, 4, 2, 3} {
+		d.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {-10, 1}, {0.001, 1}, {20, 1}, {20.0001, 2},
+		{50, 3}, {80, 4}, {99, 5}, {100, 5}, {150, 5},
+	}
+	for _, c := range cases {
+		if v := d.Percentile(c.p); v != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, v, c.want)
+		}
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", d.Min(), d.Max())
+	}
+}
+
+// TestDistCDFMaxPoints covers the downsampling contract: fewer points than
+// samples picks evenly spaced ranks ending at the max with F=1; zero,
+// negative, or oversized maxPoints fall back to one point per sample.
+func TestDistCDFMaxPoints(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 10; i++ {
+		d.Add(float64(i))
+	}
+	for _, mp := range []int{3, 4, 7} {
+		pts := d.CDF(mp)
+		if len(pts) != mp {
+			t.Fatalf("CDF(%d) returned %d points", mp, len(pts))
+		}
+		last := pts[len(pts)-1]
+		if last.X != 10 || last.F != 1 {
+			t.Errorf("CDF(%d) ends at {%v %v}, want {10 1}", mp, last.X, last.F)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+				t.Errorf("CDF(%d) not increasing at %d: %v", mp, i, pts)
+			}
+		}
+	}
+	for _, mp := range []int{0, -1, 10, 11, 1000} {
+		if pts := d.CDF(mp); len(pts) != 10 {
+			t.Errorf("CDF(%d) returned %d points, want all 10", mp, len(pts))
+		}
+	}
+}
+
+// TestDistAddDistMerge: merging distributions pools samples exactly, and
+// merging an empty one is a no-op.
+func TestDistAddDistMerge(t *testing.T) {
+	var a, b, empty Dist
+	a.Add(1)
+	a.Add(3)
+	b.Add(2)
+	a.AddDist(&b)
+	a.AddDist(&empty)
+	if a.Count() != 3 || a.Mean() != 2 || a.Percentile(50) != 2 {
+		t.Errorf("merged count=%d mean=%v p50=%v, want 3/2/2",
+			a.Count(), a.Mean(), a.Percentile(50))
+	}
+}
+
+// FuzzDistOrderStats feeds Dist random sample sets and checks the order
+// statistics' internal consistency: percentiles are monotone in p and
+// bounded by min/max, the mean lies within [min, max], and the CDF is a
+// nondecreasing staircase ending at (max, 1) regardless of maxPoints.
+func FuzzDistOrderStats(f *testing.F) {
+	f.Add([]byte{}, uint8(5))
+	f.Add([]byte{128}, uint8(0))
+	f.Add([]byte{1, 2, 3, 250, 250}, uint8(2))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(100))
+
+	f.Fuzz(func(t *testing.T, data []byte, mp uint8) {
+		var d Dist
+		for i, b := range data {
+			// Mix of signs and magnitudes, with exact duplicates when bytes
+			// repeat; derived purely from the input so failures replay.
+			d.Add((float64(b) - 128) * float64(1+i%3))
+		}
+		n := d.Count()
+		if n != len(data) {
+			t.Fatalf("Count() = %d after %d Adds", n, len(data))
+		}
+		if n == 0 {
+			if d.Percentile(50) != 0 || d.CDF(int(mp)) != nil {
+				t.Fatal("empty Dist must report zeros and a nil CDF")
+			}
+			return
+		}
+
+		lo, hi := d.Min(), d.Max()
+		if lo > hi {
+			t.Fatalf("Min %v > Max %v", lo, hi)
+		}
+		if m := d.Mean(); m < lo-1e-9 || m > hi+1e-9 {
+			t.Fatalf("Mean %v outside [%v, %v]", m, lo, hi)
+		}
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 0.001, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+			v := d.Percentile(p)
+			if v < prev {
+				t.Fatalf("Percentile(%v) = %v < previous %v: not monotone", p, v, prev)
+			}
+			if v < lo || v > hi {
+				t.Fatalf("Percentile(%v) = %v outside [%v, %v]", p, v, lo, hi)
+			}
+			prev = v
+		}
+		if d.Percentile(100) != hi {
+			t.Fatalf("Percentile(100) = %v, want max %v", d.Percentile(100), hi)
+		}
+
+		pts := d.CDF(int(mp))
+		wantLen := n
+		if int(mp) > 0 && int(mp) < n {
+			wantLen = int(mp)
+		}
+		if len(pts) != wantLen {
+			t.Fatalf("CDF(%d) has %d points, want %d of %d samples", mp, len(pts), wantLen, n)
+		}
+		for i, pt := range pts {
+			if pt.F <= 0 || pt.F > 1 {
+				t.Fatalf("CDF point %d has F=%v outside (0,1]", i, pt.F)
+			}
+			if i > 0 && (pt.X < pts[i-1].X || pt.F <= pts[i-1].F) {
+				t.Fatalf("CDF not increasing at point %d: %v", i, pts)
+			}
+		}
+		last := pts[len(pts)-1]
+		if last.X != hi || last.F != 1 {
+			t.Fatalf("CDF ends at {%v %v}, want {%v 1}", last.X, last.F, hi)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package quiver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// fuzzTopo builds a small randomized leaf–spine fabric: 2–5 spines and
+// 2–5 leaves, leaf-spine link rates drawn from a heterogeneous set when
+// hetero is odd (uniform 40G otherwise), and `fails` randomly chosen
+// leaf-spine links failed. Everything derives from the seeded rng, so a
+// crashing input reproduces.
+func fuzzTopo(seed int64, spinesB, leavesB, hetero, failsB uint8) *topo.Topology {
+	spines := int(spinesB%4) + 2
+	leaves := int(leavesB%4) + 2
+	rng := rand.New(rand.NewSource(seed))
+	rates := []units.Rate{10 * units.Gbps, 25 * units.Gbps, 40 * units.Gbps, 100 * units.Gbps}
+
+	tp := topo.New()
+	spineIDs := make([]topo.NodeID, spines)
+	for s := range spineIDs {
+		spineIDs[s] = tp.AddNode(topo.Spine, fmt.Sprintf("s%d", s))
+	}
+	var core []topo.LinkID
+	for l := 0; l < leaves; l++ {
+		leaf := tp.AddNode(topo.Leaf, fmt.Sprintf("l%d", l))
+		for _, sp := range spineIDs {
+			rate := 40 * units.Gbps
+			if hetero%2 == 1 {
+				rate = rates[rng.Intn(len(rates))]
+			}
+			core = append(core, tp.AddLink(leaf, sp, rate, 500*units.Nanosecond))
+		}
+		h := tp.AddNode(topo.Host, fmt.Sprintf("h%d", l))
+		tp.AddLink(h, leaf, 10*units.Gbps, 500*units.Nanosecond)
+	}
+	rng.Shuffle(len(core), func(i, j int) { core[i], core[j] = core[j], core[i] })
+	fails := int(failsB) % (len(core)/2 + 1) // never fail a majority
+	for i := 0; i < fails; i++ {
+		tp.FailLink(core[i])
+	}
+	return tp
+}
+
+// pathKey serializes a channel sequence for multiset bookkeeping.
+func pathKey(p []topo.ChanID) string {
+	return fmt.Sprint(p)
+}
+
+// FuzzDecomposePartition checks the §3.4.1 decomposition invariants on
+// random small (possibly asymmetric) topologies: for every leaf pair, the
+// components must exactly partition the shortest paths; paths inside a
+// component must be pairwise symmetric while component representatives are
+// pairwise asymmetric; each component's capacity must equal the sum of its
+// paths' bottleneck capacities; and the weights must be the capacities
+// scaled to coprime integers.
+func FuzzDecomposePartition(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(1), uint8(0), uint8(0))  // symmetric 2×3, no failures
+	f.Add(int64(7), uint8(1), uint8(2), uint8(1), uint8(3))  // heterogeneous rates + failures
+	f.Add(int64(42), uint8(3), uint8(0), uint8(0), uint8(5)) // symmetric rates, failures only
+	f.Add(int64(-9), uint8(2), uint8(3), uint8(1), uint8(0)) // heterogeneous, intact
+
+	f.Fuzz(func(t *testing.T, seed int64, spines, leaves, hetero, fails uint8) {
+		tp := fuzzTopo(seed, spines, leaves, hetero, fails)
+		r := topo.ComputeRoutes(tp)
+		q := Build(r)
+
+		for _, src := range tp.Leaves {
+			for _, dst := range tp.Leaves {
+				if src == dst {
+					continue
+				}
+				paths := r.Paths(src, dst)
+				comps := q.Decompose(src, dst)
+				if len(paths) == 0 {
+					if comps != nil {
+						t.Fatalf("%d→%d: no paths but %d components", src, dst, len(comps))
+					}
+					continue
+				}
+				checkDecomposition(t, q, tp, src, dst, paths, comps)
+			}
+		}
+	})
+}
+
+func checkDecomposition(t *testing.T, q *Quiver, tp *topo.Topology,
+	src, dst topo.NodeID, paths [][]topo.ChanID, comps []Component) {
+	t.Helper()
+	if len(comps) == 0 {
+		t.Fatalf("%d→%d: %d paths decomposed into zero components", src, dst, len(paths))
+	}
+
+	// Partition: every shortest path appears in exactly one component.
+	want := map[string]int{}
+	for _, p := range paths {
+		want[pathKey(p)]++
+	}
+	got := map[string]int{}
+	var totalCap units.Rate
+	for ci, c := range comps {
+		if len(c.Paths) == 0 {
+			t.Fatalf("%d→%d: component %d is empty", src, dst, ci)
+		}
+		var ccap units.Rate
+		firstHops := map[topo.ChanID]bool{}
+		for _, p := range c.Paths {
+			got[pathKey(p)]++
+			ccap += pathCapacity(tp, p)
+			firstHops[p[0]] = true
+			if !q.Symmetric(c.Paths[0], p) {
+				t.Fatalf("%d→%d: component %d holds asymmetric paths %v and %v",
+					src, dst, ci, c.Paths[0], p)
+			}
+		}
+		if ccap != c.Capacity {
+			t.Fatalf("%d→%d: component %d capacity %v != sum of path bottlenecks %v",
+				src, dst, ci, c.Capacity, ccap)
+		}
+		if len(c.FirstHops) != len(firstHops) {
+			t.Fatalf("%d→%d: component %d reports %d first hops, paths use %d",
+				src, dst, ci, len(c.FirstHops), len(firstHops))
+		}
+		for _, fh := range c.FirstHops {
+			if !firstHops[fh] {
+				t.Fatalf("%d→%d: component %d lists first hop %d no path starts with",
+					src, dst, ci, fh)
+			}
+		}
+		totalCap += c.Capacity
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d→%d: components cover %d distinct paths, routing has %d",
+			src, dst, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%d→%d: path %s appears %d times across components, want %d",
+				src, dst, k, got[k], n)
+		}
+	}
+
+	// Maximality: representatives of distinct components are asymmetric —
+	// otherwise they should have been one component.
+	for i := range comps {
+		for j := i + 1; j < len(comps); j++ {
+			if q.Symmetric(comps[i].Paths[0], comps[j].Paths[0]) {
+				t.Fatalf("%d→%d: components %d and %d are mutually symmetric", src, dst, i, j)
+			}
+		}
+	}
+
+	// Weights: capacity divided by the gcd of all component capacities
+	// (floored at 1), hence coprime whenever no flooring occurred.
+	var g int64
+	for _, c := range comps {
+		g = gcd(g, int64(c.Capacity))
+	}
+	if g == 0 {
+		g = 1
+	}
+	var wg int64
+	for ci, c := range comps {
+		want := int64(c.Capacity) / g
+		if want == 0 {
+			want = 1
+		}
+		if int64(c.Weight) != want {
+			t.Fatalf("%d→%d: component %d weight %d, want %v/%d = %d",
+				src, dst, ci, c.Weight, c.Capacity, g, want)
+		}
+		wg = gcd(wg, int64(c.Weight))
+	}
+	if wg != 1 {
+		t.Fatalf("%d→%d: component weights share common factor %d", src, dst, wg)
+	}
+}

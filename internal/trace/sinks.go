@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Ring is an in-memory sink keeping the most recent Cap events by value.
+// It never allocates after construction, which makes it the sink of choice
+// for tests and for report builders that post-process events.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int64
+	full  bool
+}
+
+// NewRing returns a ring sink holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+}
+
+// Close implements Sink; it is a no-op.
+func (r *Ring) Close() error { return nil }
+
+// Total reports how many events were emitted over the ring's lifetime,
+// including any that have since been overwritten.
+func (r *Ring) Total() int64 { return r.total }
+
+// Dropped reports how many events were overwritten by newer ones.
+func (r *Ring) Dropped() int64 {
+	if !r.full {
+		return 0
+	}
+	return r.total - int64(len(r.buf))
+}
+
+// Events returns the retained events in emission order. The slice is
+// freshly allocated; the ring keeps accepting events afterwards.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// tee fans each event out to several sinks.
+type tee struct{ sinks []Sink }
+
+// Tee returns a sink forwarding every event to all of sinks. Close closes
+// each in order, returning the first error.
+func Tee(sinks ...Sink) Sink { return &tee{sinks: sinks} }
+
+func (t *tee) Emit(ev Event) {
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+}
+
+func (t *tee) Close() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CSVHeader is the column schema of the CSV sink, one event per row.
+const CSVHeader = "t_ns,run,event,port,hop,flow,seq,size,qlen,val"
+
+// CSVSink streams events as CSV rows. Rows are built with strconv appends
+// into a reused buffer, so the cost per event is formatting, not garbage.
+type CSVSink struct {
+	w   *bufio.Writer
+	row []byte
+	err error
+}
+
+// NewCSV returns a CSV sink over w, writing the header immediately.
+func NewCSV(w io.Writer) *CSVSink {
+	s := &CSVSink{w: bufio.NewWriterSize(w, 1<<16), row: make([]byte, 0, 128)}
+	_, s.err = s.w.WriteString(CSVHeader + "\n")
+	return s
+}
+
+// Emit implements Sink.
+func (s *CSVSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.row[:0]
+	b = strconv.AppendInt(b, int64(ev.T), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.Run), 10)
+	b = append(b, ',')
+	b = append(b, ev.Kind.String()...)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.Port), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.Hop), 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, ev.Flow, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, ev.Seq, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.Size), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(ev.QLen), 10)
+	b = append(b, ',')
+	b = appendFloat(b, ev.Val)
+	b = append(b, '\n')
+	s.row = b
+	_, s.err = s.w.Write(b)
+}
+
+// Close implements Sink.
+func (s *CSVSink) Close() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// JSONLSink streams events as one JSON object per line. Objects are
+// hand-assembled (fixed key order, no reflection) so output is
+// deterministic and cheap.
+type JSONLSink struct {
+	w   *bufio.Writer
+	row []byte
+	err error
+}
+
+// NewJSONL returns a JSON-lines sink over w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 1<<16), row: make([]byte, 0, 192)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.row[:0]
+	b = append(b, `{"t_ns":`...)
+	b = strconv.AppendInt(b, int64(ev.T), 10)
+	b = append(b, `,"run":`...)
+	b = strconv.AppendInt(b, int64(ev.Run), 10)
+	b = append(b, `,"event":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","port":`...)
+	b = strconv.AppendInt(b, int64(ev.Port), 10)
+	b = append(b, `,"hop":`...)
+	b = strconv.AppendInt(b, int64(ev.Hop), 10)
+	b = append(b, `,"flow":`...)
+	b = strconv.AppendUint(b, ev.Flow, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, ev.Seq, 10)
+	b = append(b, `,"size":`...)
+	b = strconv.AppendInt(b, int64(ev.Size), 10)
+	b = append(b, `,"qlen":`...)
+	b = strconv.AppendInt(b, int64(ev.QLen), 10)
+	b = append(b, `,"val":`...)
+	b = appendFloat(b, ev.Val)
+	b = append(b, "}\n"...)
+	s.row = b
+	_, s.err = s.w.Write(b)
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// appendFloat renders v compactly: integers without a fraction, everything
+// else with the shortest round-trip representation.
+func appendFloat(b []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

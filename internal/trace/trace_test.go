@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"drill/internal/units"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || strings.Contains(name, "?") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Fatalf("KindByName(%q) = %v,%v want %v", name, back, ok, k)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Fatal("KindByName accepted an unknown name")
+	}
+}
+
+func TestTracerCountsAndRunTag(t *testing.T) {
+	ring := NewRing(16)
+	tr := New(ring, WithRun(7))
+	tr.Packet(Enqueue, 10, 3, 1, 42, 0, 1518, 2)
+	tr.Flow(Retransmit, 20, 42, 1460, 0)
+	tr.Sample(QueueSample, 30, 3, 1, 0, 5, 7590, 0)
+	if got := tr.Count(Enqueue) + tr.Count(Retransmit) + tr.Count(QueueSample); got != 3 {
+		t.Fatalf("counts sum = %d, want 3", got)
+	}
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Run != 7 {
+			t.Fatalf("event run = %d, want 7", ev.Run)
+		}
+	}
+	if evs[0].Kind != Enqueue || evs[0].Flow != 42 || evs[0].QLen != 2 {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+}
+
+func TestTracerKindFilter(t *testing.T) {
+	ring := NewRing(8)
+	tr := New(ring, WithKinds(Drop))
+	tr.Packet(Enqueue, 1, 0, 0, 1, 0, 100, 1)
+	tr.Packet(Drop, 2, 0, 0, 1, 0, 100, 0)
+	if tr.Count(Enqueue) != 0 || tr.Count(Drop) != 1 {
+		t.Fatalf("filter leaked: enqueue=%d drop=%d", tr.Count(Enqueue), tr.Count(Drop))
+	}
+	if ring.Total() != 1 {
+		t.Fatalf("sink saw %d events, want 1", ring.Total())
+	}
+}
+
+func TestNilSinkCountsOnly(t *testing.T) {
+	tr := New(nil)
+	tr.Packet(Deliver, 5, -1, 0, 9, 0, 64, 0)
+	if tr.Count(Deliver) != 1 {
+		t.Fatal("nil-sink tracer did not count")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{T: units.Time(i)})
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("kept %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.T != units.Time(6+i) {
+			t.Fatalf("event %d has T=%d, want %d (oldest-first order)", i, ev.T, 6+i)
+		}
+	}
+}
+
+func TestCSVSinkOutput(t *testing.T) {
+	var b strings.Builder
+	s := NewCSV(&b)
+	tr := New(s, WithRun(2))
+	tr.Packet(Drop, 1234, 5, 1, 99, 2920, 1518, 8)
+	tr.Sample(PortUtil, 2000, 5, 1, 3, 0, 0, 0.5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2", len(lines))
+	}
+	if lines[0] != CSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1234,2,drop,5,1,99,2920,1518,8,0" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if lines[2] != "2000,2,port-util,5,1,0,3,0,0,0.5" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestJSONLSinkOutput(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONL(&b)
+	tr := New(s)
+	tr.Flow(Timeout, 777, 12, 0, 0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t_ns":777,"run":0,"event":"timeout","port":-1,"hop":0,"flow":12,"seq":0,"size":0,"qlen":0,"val":0}`
+	if got := strings.TrimSpace(b.String()); got != want {
+		t.Fatalf("jsonl = %q\nwant   %q", got, want)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	r1, r2 := NewRing(4), NewRing(4)
+	tr := New(Tee(r1, r2))
+	tr.Packet(Send, 1, 0, 0, 1, 0, 100, 0)
+	if r1.Total() != 1 || r2.Total() != 1 {
+		t.Fatalf("tee totals = %d/%d, want 1/1", r1.Total(), r2.Total())
+	}
+}
+
+// TestDisabledTracerZeroAlloc pins the zero-overhead contract: the exact
+// pattern every instrumentation site uses — a nil check guarding an emit —
+// performs no allocations when tracing is off.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	now := units.Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			tr.Packet(Enqueue, now, 1, 0, 2, 3, 1518, 4)
+			tr.Flow(Retransmit, now, 2, 3, 0)
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledRingZeroAlloc: even with tracing on, the ring sink keeps the
+// per-event cost allocation-free, so traced test runs don't distort GC
+// behavior.
+func TestEnabledRingZeroAlloc(t *testing.T) {
+	tr := New(NewRing(1024))
+	now := units.Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			tr.Packet(Enqueue, now, 1, 0, 2, 3, 1518, 4)
+		}
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("ring-sink tracer allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceOverhead quantifies the per-site cost of the three tracer
+// states the data plane can run in: disabled (the production default — one
+// branch), counting only, and a full in-memory ring.
+func BenchmarkTraceOverhead(b *testing.B) {
+	bench := func(name string, tr *Tracer) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tr != nil {
+					tr.Packet(Enqueue, units.Time(i), 1, 0, 2, int64(i), 1518, 4)
+				}
+			}
+		})
+	}
+	bench("disabled", nil)
+	bench("count-only", New(nil))
+	bench("ring", New(NewRing(4096)))
+}

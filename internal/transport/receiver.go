@@ -4,6 +4,7 @@ import (
 	"drill/internal/fabric"
 	"drill/internal/gro"
 	"drill/internal/topo"
+	"drill/internal/trace"
 	"drill/internal/units"
 )
 
@@ -85,6 +86,9 @@ func (r *Receiver) onData(pkt *fabric.Packet) {
 	r.lastECN = pkt.ECNCE
 	if pkt.TxSeq < r.txMax {
 		r.inversions++
+		if tr := r.agent.reg.tracer; tr != nil {
+			tr.Flow(trace.OutOfOrder, r.agent.reg.Sim.Now(), pkt.FlowID, pkt.Seq, float64(r.txMax-pkt.TxSeq))
+		}
 		// Blame the hop where the late packet waited longest relative to
 		// the packet it arrived behind.
 		best, bestD := 0, int32(-1<<31)

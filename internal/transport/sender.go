@@ -3,6 +3,7 @@ package transport
 import (
 	"drill/internal/fabric"
 	"drill/internal/topo"
+	"drill/internal/trace"
 	"drill/internal/units"
 )
 
@@ -206,6 +207,9 @@ func (s *Sender) retransmit() {
 	}
 	s.Retransmits++
 	s.reg.Stats.Retransmits++
+	if tr := s.reg.tracer; tr != nil {
+		tr.Flow(trace.Retransmit, s.reg.Sim.Now(), s.id, s.sndUna, float64(l))
+	}
 	s.emit(s.sndUna, l)
 	s.armTimer()
 }
@@ -255,6 +259,9 @@ func (s *Sender) armTimer() {
 
 func (s *Sender) onTimeout() {
 	s.reg.Stats.Timeouts++
+	if tr := s.reg.tracer; tr != nil {
+		tr.Flow(trace.Timeout, s.reg.Sim.Now(), s.id, s.sndUna, float64(s.backoff))
+	}
 	s.ssthresh = maxf(float64(s.inflightSegs())/2, 2)
 	s.cwnd = 1
 	s.dupacks = 0

@@ -18,6 +18,7 @@ import (
 	"drill/internal/metrics"
 	"drill/internal/sim"
 	"drill/internal/topo"
+	"drill/internal/trace"
 	"drill/internal/units"
 )
 
@@ -133,6 +134,7 @@ type Registry struct {
 
 	agents   map[topo.NodeID]*Agent
 	nextFlow uint64
+	tracer   *trace.Tracer // the network's tracer, nil when tracing is off
 
 	// MeasureFrom: flows started before this time are warm-up and excluded
 	// from Stats (they still load the network).
@@ -145,7 +147,8 @@ type Registry struct {
 // NewRegistry attaches a transport agent to every host in the network.
 func NewRegistry(s *sim.Sim, net *fabric.Network, cfg Config) *Registry {
 	cfg.defaults()
-	r := &Registry{Sim: s, Net: net, Cfg: cfg, agents: map[topo.NodeID]*Agent{}}
+	r := &Registry{Sim: s, Net: net, Cfg: cfg, agents: map[topo.NodeID]*Agent{},
+		tracer: net.Tracer()}
 	for _, h := range net.Topo.Hosts {
 		host := net.Host(h)
 		a := &Agent{reg: r, host: host,
