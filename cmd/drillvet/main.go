@@ -1,0 +1,27 @@
+// Drillvet is the repo's custom static-analysis suite, enforcing the
+// determinism, hot-path, simulated-time, and units invariants that the
+// DRILL reproduction's results rest on (see internal/lint).
+//
+// It is a go vet tool: build it once, then hand it to the vet driver,
+// which runs each analyzer per compilation unit with full type
+// information and composes with the standard checks:
+//
+//	go build -o bin/drillvet ./cmd/drillvet
+//	go vet -vettool=bin/drillvet ./...
+//
+// Findings are suppressed site-by-site with a justified pragma:
+//
+//	//drill:allow <analyzer> <reason>
+//
+// Stale pragmas (suppressing nothing) are themselves findings.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"drill/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

@@ -128,7 +128,7 @@ func (r *RunResult) SimRate() float64 {
 // A run is fully self-contained (own event queue, RNG streams, network and
 // host state), so distinct runs may execute concurrently; see RunAll.
 func Run(cfg RunCfg) *RunResult {
-	started := time.Now()
+	started := time.Now() //drill:allow simtime wall timing of the whole run for RunResult.Wall, never a sim timestamp
 	if cfg.Warmup == 0 {
 		cfg.Warmup = 1 * units.Millisecond
 	}
@@ -242,7 +242,7 @@ func Run(cfg RunCfg) *RunResult {
 		GROSegments:  reg.Stats.GROSegments,
 		CoreUtil:     coreUtil,
 		Events:       s.Executed,
-		Wall:         time.Since(started),
+		Wall:         time.Since(started), //drill:allow simtime wall timing of the whole run for RunResult.Wall, never a sim timestamp
 		SimSpan:      end + cfg.DrainLimit,
 	}
 	if sampler != nil {

@@ -27,6 +27,8 @@ func (h *Host) Net() *Network { return h.net }
 
 // Send stamps addressing/telemetry fields on pkt and queues it on the NIC.
 // Src must be this host; Dst must be another host.
+//
+//drill:hotpath
 func (h *Host) Send(pkt *Packet) {
 	pkt.Src = h.ID
 	pkt.SrcLeaf = h.Leaf

@@ -93,7 +93,7 @@ func (c *Config) defaults() {
 		c.VisFactor = 0.05
 	}
 	if c.MTU == 0 {
-		c.MTU = 1518
+		c.MTU = 1518 * units.Byte
 	}
 	if c.RouteDelay == 0 {
 		c.RouteDelay = 1 * units.Millisecond
@@ -252,11 +252,24 @@ func (n *Network) Reconverge() {
 	}
 }
 
+// SwitchList returns the switches ordered by node ID. Table builders and
+// metric collectors iterate this instead of the Switches map so that
+// installation and reporting order never depends on map iteration order.
+func (n *Network) SwitchList() []*Switch {
+	out := make([]*Switch, 0, len(n.Switches))
+	//drill:allow nondeterminism collecting map values before sorting is order-independent
+	for _, sw := range n.Switches {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
 // BuildDefaultTables installs, at every switch and for every destination
 // leaf, a single group containing all equal-cost next hops — classic ECMP
 // tables, which Random/RR/DRILL-symmetric share.
 func (n *Network) BuildDefaultTables() {
-	for _, sw := range n.Switches {
+	for _, sw := range n.SwitchList() {
 		tables := make([][]Group, len(n.Topo.Leaves))
 		ded := newGroupDeduper()
 		for li, leaf := range n.Topo.Leaves {
@@ -363,6 +376,8 @@ func classifyHop(t *topo.Topology, c topo.Chan) metrics.HopClass {
 // --- data plane ---
 
 // enqueue places pkt on port p at the current time, dropping on overflow.
+//
+//drill:hotpath
 func (n *Network) enqueue(p *Port, pkt *Packet) {
 	if !p.up {
 		p.Drops++
@@ -402,6 +417,8 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 }
 
 // transmit serializes the head-of-line packet onto the link.
+//
+//drill:hotpath
 func (n *Network) transmit(p *Port) {
 	pkt := p.queue[p.head] // head stays queued while in service
 	p.busy = true
@@ -421,6 +438,7 @@ func (n *Network) transmit(p *Port) {
 	n.Sim.After(txT, func() { n.txDone(p) })
 }
 
+//drill:hotpath
 func (n *Network) txDone(p *Port) {
 	pkt := p.popQueue()
 	p.QPkts--
@@ -450,6 +468,8 @@ func (n *Network) txDone(p *Port) {
 }
 
 // drainPort discards all waiting packets of a failed port.
+//
+//drill:hotpath
 func (n *Network) drainPort(p *Port) {
 	for !p.queueEmpty() {
 		pkt := p.popQueue()
@@ -465,6 +485,8 @@ func (n *Network) drainPort(p *Port) {
 }
 
 // arrive delivers a packet at node `at` having entered via channel `in`.
+//
+//drill:hotpath
 func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 	if h, ok := n.hosts[at]; ok {
 		n.Delivered++
@@ -494,6 +516,8 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 }
 
 // forward routes pkt out of sw.
+//
+//drill:hotpath
 func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
 	// Local delivery.
 	if sw.Node == pkt.DstLeaf {
@@ -553,7 +577,7 @@ func (n *Network) LeafUplinks(leaf topo.NodeID) []*Port {
 // §3.2.3's metric).
 func (n *Network) DownlinksTo(leaf topo.NodeID) []*Port {
 	var out []*Port
-	for _, sw := range n.Switches {
+	for _, sw := range n.SwitchList() {
 		if sw.Node == leaf {
 			continue
 		}

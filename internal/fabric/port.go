@@ -64,10 +64,12 @@ func (p *Port) QueueLen() int32 { return p.QPkts }
 // it — the load signal DRILL compares.
 func (p *Port) VisibleBytes() int64 { return p.VisBytes }
 
+//drill:hotpath
 func (p *Port) pushQueue(pkt *Packet) {
 	p.queue = append(p.queue, pkt)
 }
 
+//drill:hotpath
 func (p *Port) popQueue() *Packet {
 	pkt := p.queue[p.head]
 	p.queue[p.head] = nil
@@ -83,6 +85,8 @@ func (p *Port) popQueue() *Packet {
 func (p *Port) queueEmpty() bool { return p.head == len(p.queue) }
 
 // applyVisibility is the deferred counter update scheduled at enqueue time.
+//
+//drill:hotpath
 func (p *Port) applyVisibility(size units.ByteSize) {
 	if p.visSkip > 0 {
 		p.visSkip--
@@ -94,6 +98,8 @@ func (p *Port) applyVisibility(size units.ByteSize) {
 
 // departVisibility reconciles the visible counters when a packet finishes
 // transmission, possibly before its visibility event fired.
+//
+//drill:hotpath
 func (p *Port) departVisibility(size units.ByteSize) {
 	if p.VisPkts > 0 {
 		p.VisPkts--

@@ -45,16 +45,18 @@ func (ts *TraceSampler) Stop() { ts.ticker.Stop() }
 
 func (ts *TraceSampler) sample(now units.Time) {
 	tr := ts.net.tracer
-	window := float64(ts.every.Seconds())
-	for i, p := range ts.ports {
-		tr.Sample(trace.QueueSample, now, p.Index, uint8(p.Hop), ts.tick, p.QPkts, int32(p.QBytes), 0)
-		sent := p.TxBytes - ts.lastTx[i]
-		ts.lastTx[i] = p.TxBytes
-		util := 0.0
-		if p.Rate > 0 && window > 0 {
-			util = float64(sent) * 8 / (float64(p.Rate) * window)
+	if tr != nil {
+		window := float64(ts.every.Seconds())
+		for i, p := range ts.ports {
+			tr.Sample(trace.QueueSample, now, p.Index, uint8(p.Hop), ts.tick, p.QPkts, int32(p.QBytes), 0)
+			sent := p.TxBytes - ts.lastTx[i]
+			ts.lastTx[i] = p.TxBytes
+			util := 0.0
+			if p.Rate > 0 && window > 0 {
+				util = float64(sent) * 8 / (float64(p.Rate) * window)
+			}
+			tr.Sample(trace.PortUtil, now, p.Index, uint8(p.Hop), ts.tick, 0, 0, util)
 		}
-		tr.Sample(trace.PortUtil, now, p.Index, uint8(p.Hop), ts.tick, 0, 0, util)
 	}
 	ts.tick++
 }

@@ -28,7 +28,7 @@ func (WCMP) Choose(net *fabric.Network, sw *fabric.Switch, eng *fabric.Engine, p
 // BuildTables implements fabric.TableBuilder: one single-port group per
 // next hop, weighted by downstream path capacity.
 func (WCMP) BuildTables(net *fabric.Network) {
-	for _, sw := range net.Switches {
+	for _, sw := range net.SwitchList() {
 		tables := make([][]fabric.Group, len(net.Topo.Leaves))
 		ded := fabric.NewGroupDeduper()
 		for li, leaf := range net.Topo.Leaves {
@@ -40,6 +40,7 @@ func (WCMP) BuildTables(net *fabric.Network) {
 				continue
 			}
 			ports := make([]int32, 0, len(weights))
+			//drill:allow nondeterminism key collection is order-independent; sorted below
 			for p := range weights {
 				ports = append(ports, p)
 			}
@@ -73,6 +74,7 @@ func portWeights(net *fabric.Network, src, dst topo.NodeID) map[int32]uint32 {
 		caps[net.PortOfChan(path[0]).Index] += bottleneck
 	}
 	var g int64
+	//drill:allow nondeterminism gcd is commutative and associative
 	for _, c := range caps {
 		g = gcd64(g, int64(c))
 	}
@@ -80,6 +82,7 @@ func portWeights(net *fabric.Network, src, dst topo.NodeID) map[int32]uint32 {
 		g = 1
 	}
 	out := make(map[int32]uint32, len(caps))
+	//drill:allow nondeterminism per-key map rebuild is order-independent
 	for p, c := range caps {
 		w := uint32(int64(c) / g)
 		if w == 0 {

@@ -1,0 +1,102 @@
+// Package lint implements drillvet, a go/analysis suite that mechanically
+// enforces the simulator's load-bearing invariants:
+//
+//   - nondeterminism: simulation packages may not consult wall clocks,
+//     the global math/rand source, or unsorted map iteration — the
+//     byte-identical seeded-run guarantee depends on it.
+//   - hotpath: trace emissions must sit behind a nil-tracer guard, and
+//     functions marked //drill:hotpath may not allocate via fmt, string
+//     concatenation, or interface boxing — the 0-allocs/op proofs of the
+//     trace layer depend on it.
+//   - simtime: wall-clock values (time.Time, time.Duration) may not flow
+//     into simulated units.Time timestamps anywhere in the tree.
+//   - units: raw integer literals may not be used where internal/units
+//     quantity types (Time, ByteSize, Rate) are expected.
+//   - pragma: validates //drill: directive comments themselves.
+//
+// Any finding can be suppressed, with an audit trail, by the escape
+// pragma
+//
+//	//drill:allow <analyzer> <reason>
+//
+// placed on the offending line or the line above it. Pragmas that
+// suppress nothing are themselves reported as stale, so the escape
+// hatch cannot rot silently.
+//
+// The suite is built into cmd/drillvet and composes with the standard
+// vet driver: go vet -vettool=$(which drillvet) ./...
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full drillvet suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Pragma,
+		Nondeterminism,
+		HotPath,
+		SimTime,
+		Units,
+	}
+}
+
+// analyzerNames is the set of names //drill:allow may reference.
+var analyzerNames = map[string]bool{
+	"nondeterminism": true,
+	"hotpath":        true,
+	"simtime":        true,
+	"units":          true,
+}
+
+// simPackageSuffixes lists the simulation packages whose code must be
+// deterministic given a seed. Matched as path suffixes of the package
+// import path, so the module name does not matter.
+var simPackageSuffixes = []string{
+	"internal/sim",
+	"internal/fabric",
+	"internal/transport",
+	"internal/queueing",
+	"internal/lb",
+	"internal/core",
+	"internal/workload",
+	"internal/quiver",
+}
+
+// isSimPackage reports whether the import path names one of the
+// deterministic simulation packages.
+func isSimPackage(path string) bool {
+	for _, s := range simPackageSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file was compiled from a _test.go file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	name := pass.Fset.File(f.Pos()).Name()
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// unitsPkgSuffix identifies the quantity-types package.
+const unitsPkgSuffix = "internal/units"
+
+// isUnitsPkg reports whether path is the internal/units package.
+func isUnitsPkg(path string) bool {
+	return path == unitsPkgSuffix || strings.HasSuffix(path, "/"+unitsPkgSuffix)
+}
+
+// tracePkgSuffix identifies the trace package (exempt from its own
+// nil-guard rule: Tracer methods legitimately call t.Emit on themselves).
+const tracePkgSuffix = "internal/trace"
+
+// isTracePkg reports whether path is the internal/trace package.
+func isTracePkg(path string) bool {
+	return path == tracePkgSuffix || strings.HasSuffix(path, "/"+tracePkgSuffix)
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"testing"
+
+	"drill/internal/lint/linttest"
+)
+
+// Each analyzer is proven against a fixture that fails without its
+// check: the // want comments in testdata/src assert both that
+// violations are reported and that the sanctioned idioms stay silent.
+
+func TestNondeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", Nondeterminism, "fix/internal/fabric")
+}
+
+func TestNondeterminismSkipsNonSimPackages(t *testing.T) {
+	if diags := linttest.Diagnostics(t, "testdata", Nondeterminism, "fix/plain"); len(diags) != 0 {
+		t.Fatalf("nondeterminism fired outside simulation packages: %v", diags)
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, "testdata", HotPath, "fix/hot")
+}
+
+func TestSimTime(t *testing.T) {
+	linttest.Run(t, "testdata", SimTime, "fix/simtime")
+}
+
+func TestUnits(t *testing.T) {
+	linttest.Run(t, "testdata", Units, "fix/unitsuse")
+}
+
+func TestAnalyzersRegistry(t *testing.T) {
+	all := Analyzers()
+	if len(all) != 5 {
+		t.Fatalf("Analyzers() = %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing name, doc, or run", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for name := range analyzerNames {
+		if !seen[name] {
+			t.Errorf("//drill:allow accepts %q but no analyzer has that name", name)
+		}
+	}
+}
+
+func TestIsSimPackage(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"drill/internal/fabric", true},
+		{"drill/internal/sim", true},
+		{"fix/internal/quiver", true},
+		{"internal/lb", true},
+		{"drill/internal/metrics", false},
+		{"drill/internal/experiments", false},
+		{"fabric", false},
+		{"drill/internal/fabricx", false},
+	}
+	for _, c := range cases {
+		if got := isSimPackage(c.path); got != c.want {
+			t.Errorf("isSimPackage(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package linttest is a self-contained analysistest replacement: it
+// loads a fixture package from a testdata/src tree, type-checks it with
+// go/types (resolving fixture-local imports from the same tree and
+// standard-library imports from source), runs one analyzer plus its
+// Requires closure, and compares the diagnostics against `// want`
+// expectations embedded in the fixture.
+//
+// The real golang.org/x/tools/go/analysis/analysistest needs go/packages
+// and a module proxy; this harness needs only the standard library plus
+// the vendored analysis framework, so the lint suite's own tests run in
+// the same hermetic environment as the simulator's.
+//
+// Expectation syntax, a subset of analysistest's: a comment containing
+//
+//	// want `regexp` `regexp` ...
+//
+// declares that each regexp matches the message of exactly one
+// diagnostic reported on that comment's line. Diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// fail the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkgpath>, runs a over it, and checks the
+// diagnostics against the fixture's // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	diags, fset, files, err := runAnalyzer(testdata, a, pkgpath)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+// Diagnostics runs a over testdata/src/<pkgpath> and returns the raw
+// diagnostics, for tests that assert on counts or exact messages.
+func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Diagnostic {
+	t.Helper()
+	diags, _, _, err := runAnalyzer(testdata, a, pkgpath)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	return diags
+}
+
+func runAnalyzer(testdata string, a *analysis.Analyzer, pkgpath string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File, error) {
+	fset := token.NewFileSet()
+	imp := &srcImporter{
+		fset: fset,
+		dir:  filepath.Join(testdata, "src"),
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*loaded),
+	}
+	lp, err := imp.load(pkgpath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var run func(an *analysis.Analyzer, top bool) error
+	run = func(an *analysis.Analyzer, top bool) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := run(req, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if top {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := run(a, true); err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, fset, lp.files, nil
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// srcImporter resolves fixture imports from testdata/src and everything
+// else (the standard library) from GOROOT source.
+type srcImporter struct {
+	fset *token.FileSet
+	dir  string
+	std  types.Importer
+	pkgs map[string]*loaded
+}
+
+func (imp *srcImporter) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(imp.dir, path)); err == nil && fi.IsDir() {
+		lp, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return imp.std.Import(path)
+}
+
+func (imp *srcImporter) load(path string) (*loaded, error) {
+	if lp, ok := imp.pkgs[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(imp.dir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(imp.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no .go files", path)
+	}
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, imp.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	imp.pkgs[path] = lp
+	return lp, nil
+}
+
+// expectation is one `regexp` from a // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want((?: +`[^`]*`)+)")
+var wantArgRE = regexp.MustCompile("`([^`]*)`")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed // want comment (regexps must be back-quoted): %s",
+							fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Errorf("%s: bad // want regexp %q: %v", pos, arg[1], err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: arg[1]})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Nondeterminism forbids the three classic sources of run-to-run drift
+// inside the simulation packages: wall clocks, the process-global
+// math/rand source, and map iteration order. Everything the simulator
+// does must be a pure function of the configured seed, or the
+// byte-identical parallel fan-out (and every Fig. 2/3 reproduction on
+// top of it) silently breaks.
+var Nondeterminism = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid wall clocks, global math/rand, and map-order iteration in simulation packages " +
+		"(internal/{sim,fabric,transport,queueing,lb,core,workload,quiver})",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNondeterminism,
+}
+
+// wallClockFuncs are the time package functions that read or depend on
+// the machine's clock. Conversions and constructors that are pure
+// (time.Duration arithmetic, time.Unix on a constant) are not listed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededRandCtors are the math/rand (and v2) package-level functions that
+// build an explicitly seeded generator rather than using the global
+// source; they are the sanctioned way to get randomness.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNondeterminism(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "nondeterminism")
+	defer sup.stale()
+	if !isSimPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{
+		(*ast.File)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.RangeStmt)(nil),
+	}
+	skip := false // current file is a test file
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			skip = isTestFile(pass, n)
+		case *ast.CallExpr:
+			if skip {
+				return
+			}
+			fn := typeutil.StaticCallee(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			checkNondetCall(sup, n, fn)
+		case *ast.RangeStmt:
+			if skip {
+				return
+			}
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				sup.Reportf(n.Pos(),
+					"map iteration order is nondeterministic in simulation code; iterate a sorted key slice, or add //drill:allow nondeterminism <reason> if the loop body is order-independent")
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkNondetCall(sup *suppressor, call *ast.CallExpr, fn *types.Func) {
+	// Package-level functions only: methods on *rand.Rand or time.Time
+	// values are deterministic given their receiver.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			sup.Reportf(call.Pos(),
+				"wall clock in simulation code: time.%s is nondeterministic across runs; use the sim clock (Sim.Now/After/NewTicker)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandCtors[fn.Name()] {
+			sup.Reportf(call.Pos(),
+				"global math/rand source in simulation code: rand.%s breaks seeded reproducibility; thread a seeded *rand.Rand (Sim.Rand/Stream) instead", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// allowPragma is one parsed, well-formed //drill:allow comment.
+type allowPragma struct {
+	Analyzer string // analyzer the pragma addresses
+	Reason   string // free-text justification (required)
+	Pos      token.Pos
+	File     string // filename the pragma appears in
+	Line     int    // line the pragma itself is on
+	used     bool   // a finding was suppressed by this pragma
+}
+
+// pragmaError is a malformed //drill: directive, reported by the pragma
+// analyzer.
+type pragmaError struct {
+	Pos token.Pos
+	Msg string
+}
+
+// parsePragma parses a single comment's text (including the leading //).
+// It returns (nil, nil) for comments that are not //drill: directives,
+// a pragma for well-formed //drill:allow comments, and an error message
+// for malformed ones. //drill:hotpath is validated separately.
+func parsePragma(text string) (*allowPragma, string) {
+	const prefix = "//drill:"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, ""
+	}
+	body := strings.TrimPrefix(text, prefix)
+	directive, rest, _ := strings.Cut(body, " ")
+	switch directive {
+	case "hotpath":
+		if strings.TrimSpace(rest) != "" {
+			return nil, "//drill:hotpath takes no arguments"
+		}
+		return nil, ""
+	case "allow":
+		name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		if name == "" {
+			return nil, "malformed //drill:allow: want //drill:allow <analyzer> <reason>"
+		}
+		if !analyzerNames[name] {
+			return nil, fmt.Sprintf("//drill:allow names unknown analyzer %q (valid: %s)",
+				name, strings.Join(sortedAnalyzerNames(), ", "))
+		}
+		if strings.TrimSpace(reason) == "" {
+			return nil, fmt.Sprintf("//drill:allow %s is missing a reason: want //drill:allow %s <reason>", name, name)
+		}
+		return &allowPragma{Analyzer: name, Reason: strings.TrimSpace(reason)}, ""
+	default:
+		return nil, fmt.Sprintf("unknown directive //drill:%s (valid: allow, hotpath)", directive)
+	}
+}
+
+func sortedAnalyzerNames() []string {
+	names := make([]string, 0, len(analyzerNames))
+	for n := range analyzerNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// collectPragmas parses every //drill:allow pragma in the package
+// (test files included) addressed to the named analyzer. Malformed
+// directives are ignored here; the pragma analyzer reports them.
+func collectPragmas(pass *analysis.Pass, analyzer string) []*allowPragma {
+	var out []*allowPragma
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p, _ := parsePragma(c.Text)
+				if p == nil || p.Analyzer != analyzer {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				p.Pos = c.Pos()
+				p.File = pos.Filename
+				p.Line = pos.Line
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// suppressor routes an analyzer's findings through its //drill:allow
+// pragmas: a finding on the pragma's own line or the line immediately
+// below it is suppressed (covering both end-of-line and stand-alone
+// placement). stale() then reports every pragma that suppressed nothing,
+// so obsolete escapes surface instead of rotting.
+type suppressor struct {
+	pass     *analysis.Pass
+	analyzer string
+	byLine   map[string]map[int]*allowPragma // file -> line -> pragma
+	pragmas  []*allowPragma
+}
+
+func newSuppressor(pass *analysis.Pass, analyzer string) *suppressor {
+	s := &suppressor{
+		pass:     pass,
+		analyzer: analyzer,
+		byLine:   make(map[string]map[int]*allowPragma),
+		pragmas:  collectPragmas(pass, analyzer),
+	}
+	for _, p := range s.pragmas {
+		m := s.byLine[p.File]
+		if m == nil {
+			m = make(map[int]*allowPragma)
+			s.byLine[p.File] = m
+		}
+		m[p.Line] = p
+	}
+	return s
+}
+
+// Reportf reports a finding at pos unless a pragma allows it.
+func (s *suppressor) Reportf(pos token.Pos, format string, args ...any) {
+	p := s.pass.Fset.Position(pos)
+	if m := s.byLine[p.Filename]; m != nil {
+		if pr := m[p.Line]; pr != nil { // pragma at end of the offending line
+			pr.used = true
+			return
+		}
+		if pr := m[p.Line-1]; pr != nil { // pragma on its own line above
+			pr.used = true
+			return
+		}
+	}
+	s.pass.Reportf(pos, format, args...)
+}
+
+// stale reports every pragma addressed to this analyzer that suppressed
+// no finding. Call it after the analyzer has visited the whole package.
+func (s *suppressor) stale() {
+	for _, p := range s.pragmas {
+		if !p.used {
+			s.pass.Reportf(p.Pos, "stale //drill:allow %s pragma: no %s finding on this or the next line (remove it or fix the reason)",
+				s.analyzer, s.analyzer)
+		}
+	}
+}
+
+// Pragma validates //drill: directive comments themselves: unknown
+// directives, missing analyzer names or reasons, unknown analyzer names,
+// and //drill:hotpath markers that are not attached to a function
+// declaration's doc comment.
+var Pragma = &analysis.Analyzer{
+	Name: "drillpragma",
+	Doc: "check that //drill: directives are well-formed: " +
+		"//drill:allow <analyzer> <reason> and //drill:hotpath on function docs",
+	Run: runPragma,
+}
+
+func runPragma(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Positions of comments that belong to a FuncDecl doc group,
+		// where //drill:hotpath is legitimate.
+		funcDoc := make(map[token.Pos]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				funcDoc[c.Pos()] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, msg := parsePragma(c.Text); msg != "" {
+					pass.Reportf(c.Pos(), "%s", msg)
+					continue
+				}
+				if strings.HasPrefix(c.Text, "//drill:hotpath") && !funcDoc[c.Pos()] {
+					pass.Reportf(c.Pos(), "//drill:hotpath must appear in a function declaration's doc comment")
+				}
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"drill/internal/lint/linttest"
+)
+
+func TestParsePragma(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string // expected analyzer of a valid pragma, "" if invalid/not a directive
+		errPart  string // expected substring of the rejection message, "" if accepted
+	}{
+		// Not directives at all.
+		{"// plain comment", "", ""},
+		{"// drill:allow units x", "", ""}, // space after // breaks the directive form
+		{"//nolint:foo", "", ""},
+
+		// Well-formed.
+		{"//drill:allow units milliseconds documented at the call site", "units", ""},
+		{"//drill:allow nondeterminism summation commutes", "nondeterminism", ""},
+		{"//drill:allow hotpath cold branch", "hotpath", ""},
+		{"//drill:allow simtime wall timing", "simtime", ""},
+		{"//drill:hotpath", "", ""},
+
+		// Malformed.
+		{"//drill:allow", "", "malformed //drill:allow"},
+		{"//drill:allow ", "", "malformed //drill:allow"},
+		{"//drill:allow units", "", "missing a reason"},
+		{"//drill:allow units   ", "", "missing a reason"},
+		{"//drill:allow bogus because", "", `unknown analyzer "bogus"`},
+		{"//drill:frobnicate", "", "unknown directive //drill:frobnicate"},
+		{"//drill:hotpath but with args", "", "takes no arguments"},
+	}
+	for _, c := range cases {
+		p, msg := parsePragma(c.text)
+		if c.errPart != "" {
+			if msg == "" || !strings.Contains(msg, c.errPart) {
+				t.Errorf("parsePragma(%q) error = %q, want containing %q", c.text, msg, c.errPart)
+			}
+			continue
+		}
+		if msg != "" {
+			t.Errorf("parsePragma(%q) unexpectedly rejected: %s", c.text, msg)
+			continue
+		}
+		if c.analyzer == "" {
+			if p != nil {
+				t.Errorf("parsePragma(%q) = %+v, want no pragma", c.text, p)
+			}
+			continue
+		}
+		if p == nil || p.Analyzer != c.analyzer {
+			t.Errorf("parsePragma(%q) = %+v, want analyzer %q", c.text, p, c.analyzer)
+		}
+	}
+}
+
+func TestParsePragmaReason(t *testing.T) {
+	p, msg := parsePragma("//drill:allow units  spaces   collapse  at the  edges ")
+	if msg != "" || p == nil {
+		t.Fatalf("parsePragma rejected a valid pragma: %s", msg)
+	}
+	if p.Reason == "" || !strings.Contains(p.Reason, "spaces") {
+		t.Errorf("Reason = %q, want the free text preserved", p.Reason)
+	}
+}
+
+// TestPragmaAnalyzer drives the drillpragma analyzer over the fixture
+// and asserts each malformed directive is reported with a clear message.
+// Assertions live here, not in // want comments: appending a want
+// comment to a line comment would change the directive under test.
+func TestPragmaAnalyzer(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata", Pragma, "fix/pragmafix")
+	want := []string{
+		"unknown directive //drill:frobnicate",
+		"malformed //drill:allow: want //drill:allow <analyzer> <reason>",
+		`unknown analyzer "bogus"`,
+		"//drill:allow units is missing a reason",
+		"//drill:hotpath takes no arguments",
+		"//drill:hotpath must appear in a function declaration's doc comment",
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d.Message)
+		}
+		t.Fatalf("drillpragma reported %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want containing %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+// TestStalePragma proves the escape hatch cannot rot: a //drill:allow
+// that suppresses nothing is itself a finding (asserted via the // want
+// in the nondeterminism fixture), and one that does suppress is not.
+func TestStalePragma(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata", Nondeterminism, "fix/internal/fabric")
+	stale := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale //drill:allow") {
+			stale++
+		}
+	}
+	if stale != 1 {
+		t.Fatalf("got %d stale-pragma findings in the nondeterminism fixture, want exactly 1", stale)
+	}
+}

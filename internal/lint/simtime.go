@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// SimTime keeps the two clocks apart: simulated timestamps (units.Time)
+// must derive from the sim clock, never from the machine's. It reports
+//
+//  1. conversions of wall-clock values (time.Time, time.Duration, or any
+//     type from package time) into units.Time, anywhere in the tree, and
+//  2. wall-clock reads (time.Now, time.Since, ...) outside the simulation
+//     packages — inside them the nondeterminism analyzer already forbids
+//     the call outright. Legitimate wall timing of real work (experiment
+//     wall-clock reporting, progress meters) is annotated
+//     //drill:allow simtime <reason>.
+var SimTime = &analysis.Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock time.Time/time.Duration values from flowing into simulated units.Time " +
+		"timestamps; wall timing of real work needs //drill:allow simtime <reason>",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSimTime,
+}
+
+func runSimTime(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "simtime")
+	defer sup.stale()
+	if isUnitsPkg(pass.Pkg.Path()) {
+		return nil, nil // units defines the type; nothing can flow yet
+	}
+	simPkg := isSimPackage(pass.Pkg.Path())
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	skip := false
+	ins.Preorder([]ast.Node{(*ast.File)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			skip = isTestFile(pass, n)
+		case *ast.CallExpr:
+			if skip {
+				return
+			}
+			// Conversion units.Time(x) where x carries wall-clock type.
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				if isUnitsTime(tv.Type) && len(n.Args) == 1 && isWallClockType(pass.TypesInfo.TypeOf(n.Args[0])) {
+					sup.Reportf(n.Pos(),
+						"wall-clock %s converted to %s: simulated timestamps must come from the sim clock, not the machine clock",
+						pass.TypesInfo.TypeOf(n.Args[0]), tv.Type)
+				}
+				return
+			}
+			if simPkg {
+				return // nondeterminism owns wall-clock calls in sim packages
+			}
+			fn := typeutil.StaticCallee(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return
+			}
+			if fn.Type().(*types.Signature).Recv() == nil && wallClockFuncs[fn.Name()] {
+				sup.Reportf(n.Pos(),
+					"wall-clock read time.%s: simulated time comes from the sim clock; if this times real work, annotate //drill:allow simtime <reason>", fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isUnitsTime reports whether t is the internal/units.Time type (the
+// simulated-time scalar).
+func isUnitsTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Time" && isUnitsPkg(named.Obj().Pkg().Path())
+}
+
+// isWallClockType reports whether t is declared in package time (Time,
+// Duration, or derived), directly or beneath one pointer.
+func isWallClockType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "time"
+}

@@ -1,0 +1,37 @@
+// Package trace is a fixture stand-in for the real internal/trace: the
+// hotpath analyzer matches the Tracer type by package-path suffix and
+// the emission method names, so only the shape matters.
+package trace
+
+// Kind classifies an event.
+type Kind uint8
+
+// Send is a sample kind.
+const Send Kind = 0
+
+// Event is one telemetry record.
+type Event struct {
+	Kind Kind
+	Seq  int64
+}
+
+// Tracer forwards events to a sink; nil means disabled.
+type Tracer struct {
+	n int64
+}
+
+// Emit records one event.
+func (t *Tracer) Emit(ev Event) { t.n++ }
+
+// Packet emits a packet-lifecycle event.
+func (t *Tracer) Packet(k Kind, seq int64) { t.Emit(Event{Kind: k, Seq: seq}) }
+
+// Flow emits a flow-scoped event.
+func (t *Tracer) Flow(k Kind, seq int64) { t.Emit(Event{Kind: k, Seq: seq}) }
+
+// Sample emits a periodic sample.
+func (t *Tracer) Sample(k Kind, seq int64) { t.Emit(Event{Kind: k, Seq: seq}) }
+
+// Count is a non-emission method: calls to it need no nil guard from the
+// analyzer's point of view.
+func (t *Tracer) Count(k Kind) int64 { return t.n }

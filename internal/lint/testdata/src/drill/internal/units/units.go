@@ -1,0 +1,33 @@
+// Package units is a fixture stand-in for the real internal/units: the
+// analyzers match these types by package-path suffix and type name, so
+// only the shape matters.
+package units
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// ByteSize is a data size in bytes.
+type ByteSize int64
+
+// Common sizes.
+const (
+	Byte ByteSize = 1
+	KB   ByteSize = 1000 * Byte
+)
+
+// Rate is a link rate in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	BitPerSecond Rate = 1
+	Gbps         Rate = 1e9 * BitPerSecond
+)

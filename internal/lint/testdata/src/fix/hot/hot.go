@@ -1,0 +1,95 @@
+// Package hot exercises the hotpath analyzer: nil-tracer guards on
+// emissions, and allocation bans inside //drill:hotpath functions.
+package hot
+
+import (
+	"fmt"
+
+	"drill/internal/trace"
+)
+
+type port struct {
+	tr *trace.Tracer
+	q  []int64
+}
+
+func (p *port) guarded(seq int64) {
+	if p.tr != nil {
+		p.tr.Packet(trace.Send, seq) // guarded: this is the idiom
+	}
+	if seq > 0 && p.tr != nil {
+		p.tr.Emit(trace.Event{Seq: seq}) // guard within && conjunction
+	}
+	tr := p.tr
+	if tr != nil {
+		tr.Flow(trace.Send, seq) // local alias, same guard
+	}
+}
+
+func (p *port) unguarded(seq int64) {
+	p.tr.Packet(trace.Send, seq) // want `unguarded trace emission`
+	if seq > 0 {
+		p.tr.Emit(trace.Event{Seq: seq}) // want `unguarded trace emission`
+	}
+	if p.tr != nil || seq > 0 {
+		p.tr.Sample(trace.Send, seq) // want `unguarded trace emission`
+	}
+	if p.tr != nil {
+		_ = seq
+	} else {
+		p.tr.Emit(trace.Event{}) // want `unguarded trace emission`
+	}
+}
+
+func (p *port) nonEmission() int64 {
+	return p.tr.Count(trace.Send) // not an emission method: no guard required
+}
+
+// enqueue is on the per-packet path; it may not allocate.
+//
+//drill:hotpath
+func (p *port) enqueue(seq int64, v int) string {
+	s := fmt.Sprintf("pkt %d", seq) // want `fmt.Sprintf allocates on the packet hot path`
+	s = s + "!"                     // want `string concatenation allocates`
+	s += "?"                        // want `string concatenation allocates`
+	var b any = v                   // want `value of type int boxed into interface`
+	box(v)                          // want `value of type int boxed into interface`
+	_ = b
+	p.q = append(p.q, seq) // append to a concrete slice is allowed
+	return s
+}
+
+//drill:hotpath
+func ret(v int) any {
+	return v // want `value of type int boxed into interface`
+}
+
+//drill:hotpath
+func guardedInvariant(p *port, seq int64) {
+	if seq < 0 {
+		// The crash path is cold: panic messages may format and box.
+		panic(fmt.Sprintf("negative seq %d", seq))
+	}
+}
+
+//drill:hotpath
+func clean(p *port, seq int64) int64 {
+	if p.tr != nil {
+		p.tr.Packet(trace.Send, seq)
+	}
+	var x any = nil // nil carries no allocation
+	_ = x
+	return seq + int64(len(p.q))
+}
+
+//drill:hotpath
+func allowed(v int) {
+	_ = fmt.Sprint(v) //drill:allow hotpath cold branch, taken once per run
+}
+
+// coldPath is unmarked: allocation is fine off the hot path.
+func coldPath(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+func box(x any) {}

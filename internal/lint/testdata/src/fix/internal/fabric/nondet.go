@@ -1,0 +1,53 @@
+// Package fabric exercises the nondeterminism analyzer: its import path
+// ends in internal/fabric, so it counts as a simulation package.
+package fabric
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `wall clock in simulation code: time.Now`
+	time.Sleep(1)   // want `wall clock in simulation code: time.Sleep`
+	return t.UnixNano()
+}
+
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand source in simulation code: rand.Shuffle`
+	return rand.Intn(n)                // want `global math/rand source in simulation code: rand.Intn`
+}
+
+func seeded(n int) int {
+	rng := rand.New(rand.NewSource(42)) // explicitly seeded constructors are the sanctioned path
+	return rng.Intn(n)                  // methods on a seeded *rand.Rand are fine
+}
+
+func iterate(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	keys := make([]string, 0, len(m))
+	//drill:allow nondeterminism key collection is order-independent; sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slices iterate deterministically
+		sum += m[k]
+	}
+	return sum
+}
+
+func inlineAllowed(m map[int]int) int {
+	sum := 0
+	for _, v := range m { //drill:allow nondeterminism summation commutes
+		sum += v
+	}
+	return sum
+}
+
+//drill:allow nondeterminism nothing to suppress here // want `stale //drill:allow nondeterminism pragma`
+var sorted = sort.Strings

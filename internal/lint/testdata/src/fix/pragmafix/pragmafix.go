@@ -1,0 +1,30 @@
+// Package pragmafix exercises the drillpragma analyzer: malformed
+// //drill: directives are rejected with a diagnostic. The expected
+// messages are asserted in pragma_test.go rather than with // want
+// comments, because a want comment appended to a line comment would
+// become part of the directive text under test.
+package pragmafix
+
+//drill:frobnicate
+var a int
+
+//drill:allow
+var b int
+
+//drill:allow bogus because reasons
+var c int
+
+//drill:allow units
+var d int
+
+//drill:hotpath with trailing arguments
+var e int
+
+//drill:hotpath
+var f int
+
+//drill:hotpath
+func hot() {}
+
+//drill:allow units the units analyzer judges staleness, not drillpragma
+var g int

@@ -1,0 +1,32 @@
+// Package simtime exercises the simtime analyzer: wall-clock values may
+// not flow into simulated units.Time timestamps, and wall-clock reads
+// outside simulation packages need a justified pragma.
+package simtime
+
+import (
+	"time"
+
+	"drill/internal/units"
+)
+
+func leak() units.Time {
+	t0 := time.Now()     // want `wall-clock read time.Now`
+	d := time.Since(t0)  // want `wall-clock read time.Since`
+	return units.Time(d) // want `wall-clock time.Duration converted to`
+}
+
+func leakDirect(t time.Time) units.Time {
+	return units.Time(t.UnixNano()) // int64 in between launders the type, but UnixNano is caught upstream by the read check when called on Now()
+}
+
+func wallTimed() time.Duration {
+	start := time.Now() //drill:allow simtime wall timing of real work, never a sim timestamp
+	work()
+	return time.Since(start) //drill:allow simtime wall timing of real work, never a sim timestamp
+}
+
+func simClock(now units.Time) units.Time {
+	return now + 5*units.Microsecond // sim-clock arithmetic is the sanctioned path
+}
+
+func work() {}

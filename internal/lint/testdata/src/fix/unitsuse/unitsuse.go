@@ -1,0 +1,42 @@
+// Package unitsuse exercises the units analyzer: raw integer literals
+// may not stand in for internal/units quantity types.
+package unitsuse
+
+import "drill/internal/units"
+
+type config struct {
+	Delay units.Time
+	MTU   units.ByteSize
+	Speed units.Rate
+}
+
+func delay(d units.Time) {}
+
+func use() {
+	delay(500)                    // want `raw integer literal used as .*units.Time`
+	delay(0)                      // the zero value carries no unit
+	delay(-1)                     // the conventional sentinel is allowed
+	delay(500 * units.Nanosecond) // spelled unit: the sanctioned form
+
+	_ = config{Delay: 100} // want `raw integer literal used as .*units.Time`
+	_ = config{
+		Delay: 2 * units.Microsecond,
+		MTU:   1500, // want `raw integer literal used as .*units.ByteSize`
+		Speed: 10 * units.Gbps,
+	}
+	_ = config{0, 1500 * units.Byte, 9} // want `raw integer literal used as .*units.Rate`
+
+	var t units.Time = 9 // want `raw integer literal used as .*units.Time`
+	t = 12               // want `raw integer literal used as .*units.Time`
+	t = 0                // zero resets carry no unit
+	_ = t
+
+	_ = units.Time(5)   // want `raw integer literal used as .*units.Time`
+	_ = []units.Time{7} // want `raw integer literal used as .*units.Time`
+	_ = map[string]units.ByteSize{
+		"mtu": 1500, // want `raw integer literal used as .*units.ByteSize`
+	}
+
+	var d units.Time
+	_ = int64(d) // converting away from a unit type is fine
+}

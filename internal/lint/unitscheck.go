@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Units forbids raw integer literals where an internal/units quantity
+// type (Time in nanoseconds, ByteSize in bytes, Rate in bits/s) is
+// expected. `Delay: 500` silently means 500ns today and a unit bug
+// tomorrow; `500 * units.Nanosecond` survives a units refactor and says
+// what it measures. The zero literal is always allowed (it is the zero
+// value, unit-free by definition), as is -1 (the conventional sentinel).
+var Units = &analysis.Analyzer{
+	Name: "units",
+	Doc: "flag raw integer literals used as internal/units quantity types (Time, ByteSize, Rate); " +
+		"write 500*units.Nanosecond, not 500",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runUnits,
+}
+
+func runUnits(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "units")
+	defer sup.stale()
+	if isUnitsPkg(pass.Pkg.Path()) {
+		return nil, nil // the unit constants themselves are defined here
+	}
+
+	info := pass.TypesInfo
+	check := func(want types.Type, expr ast.Expr) {
+		if !isUnitsQuantity(want) {
+			return
+		}
+		lit, neg := bareIntLiteral(expr)
+		if lit == nil {
+			return
+		}
+		if v := lit.Value; v == "0" || (neg && v == "1") {
+			return // zero value and -1 sentinel carry no unit
+		}
+		sup.Reportf(expr.Pos(),
+			"raw integer literal used as %s; spell the unit (e.g. %s * units.%s) or //drill:allow units <reason>",
+			types.TypeString(want, types.RelativeTo(pass.Pkg)), lit.Value, unitHint(want))
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{
+		(*ast.File)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.CompositeLit)(nil),
+		(*ast.AssignStmt)(nil),
+		(*ast.ValueSpec)(nil),
+	}
+	skip := false
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.File:
+			skip = isTestFile(pass, n)
+		case *ast.CallExpr:
+			if skip {
+				return
+			}
+			// Explicit conversion units.Time(5) is as unit-less as a bare 5.
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				if len(n.Args) == 1 {
+					check(tv.Type, n.Args[0])
+				}
+				return
+			}
+			sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+			if !ok {
+				return
+			}
+			for i, arg := range n.Args {
+				var param types.Type
+				switch {
+				case sig.Variadic() && i >= sig.Params().Len()-1:
+					if !n.Ellipsis.IsValid() {
+						param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+					}
+				case i < sig.Params().Len():
+					param = sig.Params().At(i).Type()
+				}
+				if param != nil {
+					check(param, arg)
+				}
+			}
+		case *ast.CompositeLit:
+			if skip {
+				return
+			}
+			t := info.TypeOf(n)
+			if t == nil {
+				return
+			}
+			switch u := t.Underlying().(type) {
+			case *types.Struct:
+				for i, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							if f := structField(u, id.Name); f != nil {
+								check(f.Type(), kv.Value)
+							}
+						}
+					} else if i < u.NumFields() {
+						check(u.Field(i).Type(), elt)
+					}
+				}
+			case *types.Slice:
+				for _, elt := range n.Elts {
+					if _, ok := elt.(*ast.KeyValueExpr); !ok {
+						check(u.Elem(), elt)
+					}
+				}
+			case *types.Array:
+				for _, elt := range n.Elts {
+					if _, ok := elt.(*ast.KeyValueExpr); !ok {
+						check(u.Elem(), elt)
+					}
+				}
+			case *types.Map:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						check(u.Key(), kv.Key)
+						check(u.Elem(), kv.Value)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if skip || len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i, rhs := range n.Rhs {
+				check(info.TypeOf(n.Lhs[i]), rhs)
+			}
+		case *ast.ValueSpec:
+			if skip || n.Type == nil {
+				return
+			}
+			want := info.TypeOf(n.Type)
+			for _, v := range n.Values {
+				check(want, v)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isUnitsQuantity reports whether t is one of the internal/units
+// quantity types.
+func isUnitsQuantity(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !isUnitsPkg(named.Obj().Pkg().Path()) {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Time", "ByteSize", "Rate":
+		return true
+	}
+	return false
+}
+
+// bareIntLiteral unwraps parentheses and a single unary minus and
+// returns the integer literal beneath, or nil.
+func bareIntLiteral(e ast.Expr) (lit *ast.BasicLit, neg bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.SUB {
+				return nil, false
+			}
+			neg = true
+			e = x.X
+		case *ast.BasicLit:
+			if x.Kind != token.INT {
+				return nil, false
+			}
+			return x, neg
+		default:
+			return nil, false
+		}
+	}
+}
+
+// unitHint names a plausible unit constant for the diagnostic.
+func unitHint(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "Nanosecond"
+	}
+	switch named.Obj().Name() {
+	case "ByteSize":
+		return "Byte"
+	case "Rate":
+		return "BitPerSecond"
+	default:
+		return "Nanosecond"
+	}
+}
+
+func structField(s *types.Struct, name string) *types.Var {
+	for i := 0; i < s.NumFields(); i++ {
+		if s.Field(i).Name() == name {
+			return s.Field(i)
+		}
+	}
+	return nil
+}

@@ -113,24 +113,14 @@ func (q *Quiver) addLabel(c topo.ChanID, l Label) {
 // equal scores ⇔ equal label sets (modulo hash collisions, which the
 // 64-bit space makes negligible at datacenter scale).
 func (q *Quiver) computeScores() {
+	//drill:allow nondeterminism each iteration writes its own scores entry; order-independent
 	for c, set := range q.labels {
 		labels := make([]Label, 0, len(set))
+		//drill:allow nondeterminism label collection is order-independent; sorted below
 		for l := range set {
 			labels = append(labels, l)
 		}
-		sort.Slice(labels, func(i, j int) bool {
-			a, b := labels[i], labels[j]
-			if a.Src != b.Src {
-				return a.Src < b.Src
-			}
-			if a.Dst != b.Dst {
-				return a.Dst < b.Dst
-			}
-			if a.CF.Num != b.CF.Num {
-				return a.CF.Num < b.CF.Num
-			}
-			return a.CF.Den < b.CF.Den
-		})
+		sortLabels(labels)
 		h := fnv.New64a()
 		var buf [8]byte
 		put := func(v int64) {
@@ -153,13 +143,34 @@ func (q *Quiver) computeScores() {
 // no shortest-path traffic).
 func (q *Quiver) Score(c topo.ChanID) uint64 { return q.scores[c] }
 
-// Labels returns a copy of the channel's label set, for inspection.
+// Labels returns a copy of the channel's label set, sorted, for
+// inspection.
 func (q *Quiver) Labels(c topo.ChanID) []Label {
-	var out []Label
+	out := make([]Label, 0, len(q.labels[c]))
+	//drill:allow nondeterminism label collection is order-independent; sorted below
 	for l := range q.labels[c] {
 		out = append(out, l)
 	}
+	sortLabels(out)
 	return out
+}
+
+// sortLabels orders labels lexicographically by (Src, Dst, CF), the
+// canonical order score hashing and inspection share.
+func sortLabels(labels []Label) {
+	sort.Slice(labels, func(i, j int) bool {
+		a, b := labels[i], labels[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.CF.Num != b.CF.Num {
+			return a.CF.Num < b.CF.Num
+		}
+		return a.CF.Den < b.CF.Den
+	})
 }
 
 // Symmetric reports whether two paths (channel sequences) are symmetric:

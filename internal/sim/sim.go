@@ -53,6 +53,8 @@ func (s *Sim) Stream(id int64) *rand.Rand {
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently reorder causality.
+//
+//drill:hotpath
 func (s *Sim) At(t units.Time, fn func()) {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
@@ -62,6 +64,8 @@ func (s *Sim) At(t units.Time, fn func()) {
 }
 
 // After schedules fn to run d after the current time.
+//
+//drill:hotpath
 func (s *Sim) After(d units.Time, fn func()) { s.At(s.now+d, fn) }
 
 // AfterDaemon schedules fn like After, but as a daemon event: Run treats a
@@ -101,6 +105,7 @@ func (s *Sim) RunUntil(t units.Time) {
 	}
 }
 
+//drill:hotpath
 func (s *Sim) step() {
 	ev := s.pop()
 	if ev.daemon {
@@ -115,6 +120,7 @@ func (s *Sim) step() {
 // container/heap's interface indirection costs measurably at the tens of
 // millions of events a single experiment point dispatches.
 
+//drill:hotpath
 func (s *Sim) push(ev event) {
 	s.heap = append(s.heap, ev)
 	i := len(s.heap) - 1
@@ -128,6 +134,7 @@ func (s *Sim) push(ev event) {
 	}
 }
 
+//drill:hotpath
 func (s *Sim) pop() event {
 	h := s.heap
 	top := h[0]

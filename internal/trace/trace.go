@@ -150,6 +150,8 @@ func (t *Tracer) Count(k Kind) int64 { return t.counts[k] }
 
 // Emit records one event. Callers must not call Emit on a nil tracer; the
 // disabled path is the nil check at the call site.
+//
+//drill:hotpath
 func (t *Tracer) Emit(ev Event) {
 	if t.mask&(1<<ev.Kind) == 0 {
 		return
@@ -163,11 +165,15 @@ func (t *Tracer) Emit(ev Event) {
 
 // Packet emits a packet-lifecycle event; a convenience wrapper keeping the
 // hot call sites to one line.
+//
+//drill:hotpath
 func (t *Tracer) Packet(k Kind, now units.Time, port int32, hop uint8, flow uint64, seq int64, size, qlen int32) {
 	t.Emit(Event{T: now, Kind: k, Port: port, Hop: hop, Flow: flow, Seq: seq, Size: size, QLen: qlen})
 }
 
 // Flow emits a flow-scoped transport event (no port).
+//
+//drill:hotpath
 func (t *Tracer) Flow(k Kind, now units.Time, flow uint64, seq int64, val float64) {
 	t.Emit(Event{T: now, Kind: k, Port: -1, Flow: flow, Seq: seq, Val: val})
 }
@@ -175,6 +181,8 @@ func (t *Tracer) Flow(k Kind, now units.Time, flow uint64, seq int64, val float6
 // Sample emits a periodic per-port sample. seq is the sample tick counter;
 // for QueueSample qlen/qbytes carry the depth, for PortUtil val carries the
 // utilization fraction.
+//
+//drill:hotpath
 func (t *Tracer) Sample(k Kind, now units.Time, port int32, hop uint8, seq int64, qlen, qbytes int32, val float64) {
 	t.Emit(Event{T: now, Kind: k, Port: port, Hop: hop, Seq: seq, QLen: qlen, Size: qbytes, Val: val})
 }

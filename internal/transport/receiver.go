@@ -82,6 +82,8 @@ func newReceiver(a *Agent, first *fabric.Packet) *Receiver {
 }
 
 // onData accepts one data packet off the wire.
+//
+//drill:hotpath
 func (r *Receiver) onData(pkt *fabric.Packet) {
 	r.lastECN = pkt.ECNCE
 	if pkt.TxSeq < r.txMax {

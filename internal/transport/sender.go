@@ -84,6 +84,8 @@ func (s *Sender) inflightSegs() int {
 }
 
 // trySend transmits new segments while the window allows.
+//
+//drill:hotpath
 func (s *Sender) trySend() {
 	if s.done {
 		return
@@ -102,6 +104,8 @@ func (s *Sender) trySend() {
 }
 
 // emit sends one segment covering [seq, seq+l).
+//
+//drill:hotpath
 func (s *Sender) emit(seq int64, l int32) {
 	s.txSeq++
 	pkt := &fabric.Packet{
@@ -117,6 +121,8 @@ func (s *Sender) emit(seq int64, l int32) {
 }
 
 // onAck processes a cumulative acknowledgment.
+//
+//drill:hotpath
 func (s *Sender) onAck(pkt *fabric.Packet) {
 	if s.done {
 		return

@@ -1,0 +1,17 @@
+//go:build tools
+
+// Package tools pins build-time tool dependencies in go.mod so that
+// lint results are reproducible across machines: the drillvet analyzers
+// are compiled against exactly the golang.org/x/tools version recorded
+// here (and vendored under vendor/), never whatever happens to be in a
+// local module cache. External linters that cannot be vendored as Go
+// imports (staticcheck, govulncheck) are pinned by version in
+// .github/workflows/ci.yml instead.
+//
+// This file is never compiled into a binary; the "tools" build tag is
+// set by no build.
+package tools
+
+import (
+	_ "golang.org/x/tools/go/analysis/unitchecker"
+)
