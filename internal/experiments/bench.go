@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"drill/internal/fabric"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/transport"
+	"drill/internal/units"
+)
+
+// This file is the perf-trajectory harness: cmd/drillbench runs the
+// canonical cells below and writes a BENCH_*.json snapshot (events/sec,
+// ns/event, allocs/event, peak heap, packet-pool traffic). The committed
+// BENCH_baseline.json is the first point of that trajectory; future PRs
+// that touch the packet path regenerate it and diff.
+
+// BenchSchemaVersion identifies the BENCH_*.json layout.
+const BenchSchemaVersion = "drill-bench/v1"
+
+// BenchCell is one canonical benchmark configuration.
+type BenchCell struct {
+	Name string
+	Cfg  RunCfg
+}
+
+// BenchCells returns the canonical cells: the fig6a fabric under the two
+// schemes whose data-plane work brackets the suite (ECMP's single hash
+// lookup, DRILL's sampled-queue comparisons), at a moderate and a high
+// load. Small enough that one pass finishes in seconds, big enough that
+// each cell dispatches millions of events.
+func BenchCells(seed int64) []BenchCell {
+	mk := func(name, scheme string, load float64) BenchCell {
+		sc, ok := SchemeByName(scheme)
+		if !ok {
+			panic("experiments: unknown bench scheme " + scheme)
+		}
+		return BenchCell{Name: name, Cfg: RunCfg{
+			Topo: fig6Topo(0), Scheme: sc, Seed: seed, Load: load,
+			Warmup:  200 * units.Microsecond,
+			Measure: 2 * units.Millisecond,
+		}}
+	}
+	return []BenchCell{
+		mk("ecmp-load0.5", "ECMP", 0.5),
+		mk("drill-load0.5", "DRILL", 0.5),
+		mk("drill-load0.8", "DRILL", 0.8),
+	}
+}
+
+// BenchCellResult is one cell's measurements.
+type BenchCellResult struct {
+	Name   string  `json:"name"`
+	Scheme string  `json:"scheme"`
+	Load   float64 `json:"load"`
+
+	Events       uint64  `json:"events"`
+	WallNs       int64   `json:"wall_ns"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Flows        int64   `json:"flows"`
+
+	Mallocs        uint64  `json:"mallocs"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+
+	// PacketGets is pool traffic; PacketAllocs the fresh allocations among
+	// it. Gets - Allocs is the allocation volume recycling avoided.
+	PacketGets   int64 `json:"packet_gets"`
+	PacketAllocs int64 `json:"packet_allocs"`
+}
+
+// MicroAllocs are testing.AllocsPerRun measurements of the three hot paths
+// the pool/timer work targets. Each is allocations per operation at steady
+// state; the alloc-ceiling tests pin the first two at zero.
+type MicroAllocs struct {
+	// TimerResetStop: one RTO re-arm + disarm on a warm sim heap.
+	TimerResetStop float64 `json:"timer_reset_stop"`
+	// PoolGetPut: one packet recycle round trip (Get, fill nothing, Put).
+	PoolGetPut float64 `json:"pool_get_put"`
+	// SendDeliver: one pool-allocated packet pushed host→leaf→host through
+	// a warm two-host fabric, including every event closure the data plane
+	// schedules for it (enqueue visibility, txDone, arrive). This is the
+	// whole per-packet event cost, the number future PRs should shrink.
+	SendDeliver float64 `json:"send_deliver"`
+}
+
+// BenchReport is the BENCH_*.json document.
+type BenchReport struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Seed      int64  `json:"seed"`
+
+	Cells []BenchCellResult `json:"cells"`
+	Micro MicroAllocs       `json:"micro"`
+}
+
+// RunBenchCell executes one cell and measures it. The heap is settled with
+// a forced GC before the run so malloc/byte deltas belong to the run
+// alone; peak heap is sampled every 500µs of simulated time from inside
+// the run.
+func RunBenchCell(c BenchCell) BenchCellResult {
+	cfg := c.Cfg
+	var peak uint64
+	cfg.Hook = func(reg *transport.Registry, until units.Time) {
+		sim.NewTicker(reg.Sim, 500*units.Microsecond, func(units.Time) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		})
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	started := time.Now() //drill:allow simtime wall timing of the bench cell, never a sim timestamp
+	res := Run(cfg)
+	wall := time.Since(started) //drill:allow simtime wall timing of the bench cell, never a sim timestamp
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > peak {
+		peak = after.HeapAlloc
+	}
+
+	out := BenchCellResult{
+		Name:   c.Name,
+		Scheme: cfg.Scheme.Name,
+		Load:   cfg.Load,
+
+		Events: res.Events,
+		WallNs: wall.Nanoseconds(),
+		Flows:  res.Flows,
+
+		Mallocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes: peak,
+
+		PacketGets:   res.PacketGets,
+		PacketAllocs: res.PacketAllocs,
+	}
+	if res.Events > 0 {
+		out.NsPerEvent = float64(wall.Nanoseconds()) / float64(res.Events)
+		out.AllocsPerEvent = float64(out.Mallocs) / float64(res.Events)
+		out.BytesPerEvent = float64(out.AllocBytes) / float64(res.Events)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		out.EventsPerSec = float64(res.Events) / secs
+	}
+	return out
+}
+
+// RunBench executes every canonical cell plus the micro measurements.
+func RunBench(seed int64, progress func(format string, args ...any)) BenchReport {
+	rep := BenchReport{
+		Schema:    BenchSchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      seed,
+	}
+	for _, c := range BenchCells(seed) {
+		r := RunBenchCell(c)
+		if progress != nil {
+			progress("%-14s %8.3g ev/s  %6.1f ns/ev  %6.3f allocs/ev  peak %5.1f MB",
+				r.Name, r.EventsPerSec, r.NsPerEvent, r.AllocsPerEvent,
+				float64(r.PeakHeapBytes)/1e6)
+		}
+		rep.Cells = append(rep.Cells, r)
+	}
+	rep.Micro = BenchMicroAllocs()
+	if progress != nil {
+		progress("micro: timer reset+stop %.2f, pool get+put %.2f, send→deliver %.2f allocs/op",
+			rep.Micro.TimerResetStop, rep.Micro.PoolGetPut, rep.Micro.SendDeliver)
+	}
+	return rep
+}
+
+// BenchMicroAllocs measures the per-operation allocation cost of the
+// timer re-arm, packet recycle, and send→deliver paths.
+func BenchMicroAllocs() MicroAllocs {
+	var m MicroAllocs
+
+	// Timer re-arm on a warm heap: Reset moves the live entry in place.
+	{
+		s := sim.New(1)
+		tm := s.NewTimer(func() {})
+		tm.Reset(1 * units.Nanosecond)
+		s.Run()
+		m.TimerResetStop = testing.AllocsPerRun(1000, func() {
+			tm.Reset(5 * units.Nanosecond)
+			tm.Stop()
+		})
+	}
+
+	// Packet recycle round trip on a warm free list.
+	{
+		var pool fabric.PacketPool
+		pool.Put(pool.Get())
+		m.PoolGetPut = testing.AllocsPerRun(1000, func() {
+			pool.Put(pool.Get())
+		})
+	}
+
+	// One pool packet host→leaf→host through a warm fabric, drained.
+	{
+		sc, _ := SchemeByName("ECMP")
+		tp := topo.LeafSpine(topo.LeafSpineConfig{
+			Spines: 1, Leaves: 1, HostsPerLeaf: 2,
+			CoreRate: 10 * units.Gbps, HostRate: 10 * units.Gbps,
+		})
+		s := sim.New(1)
+		net := fabric.New(s, tp, fabric.Config{Balancer: sc.New()})
+		src, dst := net.Host(tp.Hosts[0]), tp.Hosts[1]
+		send := func() {
+			pkt := src.AllocPacket()
+			pkt.FlowID = 1
+			pkt.Hash = 7
+			pkt.Dst = dst
+			pkt.Size = 1518 * units.Byte
+			src.Send(pkt)
+			s.Run()
+		}
+		send() // warm queues, heap, and pool
+		m.SendDeliver = testing.AllocsPerRun(500, send)
+	}
+	return m
+}

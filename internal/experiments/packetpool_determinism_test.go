@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"drill/internal/units"
+)
+
+// fingerprint reduces a run to a string covering every statistic a recycled
+// packet could corrupt: if a terminal site ever recycles a packet that is
+// still referenced, or Put leaves a stale field behind, some flow's FCT,
+// retransmit count, or hop telemetry shifts and the strings diverge.
+func fingerprint(r *RunResult) string {
+	return fmt.Sprintf("fct(n=%d mean=%v p50=%v p99=%v) flows=%d drops=%d retx=%d rto=%d ev=%d hops=%v util=%.6f",
+		r.FCT.Count(), r.FCT.Mean(), r.FCT.Percentile(50), r.FCT.Percentile(99),
+		r.Flows, r.Drops, r.Retransmits, r.Timeouts, r.Events, r.Hops.Drops, r.CoreUtil)
+}
+
+// TestPoolingIsByteIdentical holds packet recycling to its core contract:
+// pooling is an allocator change, not a behaviour change. Every cell runs
+// with the free list on and off and must produce identical results and
+// event counts. The grid includes a drop-heavy cell (tiny queues at high
+// load) and a link-failure cell so the overflow, dead-link, drain, and
+// unreachable recycling sites are all on the compared path, not just
+// delivery.
+func TestPoolingIsByteIdentical(t *testing.T) {
+	cells := tinySweepCfgs()
+	lossy, _ := SchemeByName("ECMP")
+	cells = append(cells, RunCfg{
+		Topo: fig6Topo(0), Scheme: lossy, Seed: 11, Load: 0.9, QueueCap: 8,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	})
+	fail, _ := SchemeByName("DRILL")
+	cells = append(cells, RunCfg{
+		Topo: fig6Topo(0), Scheme: fail, Seed: 12, Load: 0.5,
+		FailLinks: 1, FailAt: 200 * units.Microsecond,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	})
+	for i, cfg := range cells {
+		pooled := cfg
+		pooled.DisablePool = false
+		fresh := cfg
+		fresh.DisablePool = true
+		rp, rf := Run(pooled), Run(fresh)
+		if got, want := fingerprint(rp), fingerprint(rf); got != want {
+			t.Errorf("cell %d (%s seed=%d): pooled run differs from unpooled:\npooled:   %s\nunpooled: %s",
+				i, cfg.Scheme.Name, cfg.Seed, got, want)
+		}
+		// The unpooled run bypasses the free list entirely; the pooled run
+		// must both use it and get real reuse out of it.
+		if rf.PacketGets != 0 || rf.PacketAllocs != 0 {
+			t.Errorf("cell %d: DisablePool run touched the pool (gets=%d allocs=%d)",
+				i, rf.PacketGets, rf.PacketAllocs)
+		}
+		if rp.PacketGets == 0 || rp.PacketAllocs >= rp.PacketGets {
+			t.Errorf("cell %d: pooling avoided nothing (allocs=%d gets=%d)",
+				i, rp.PacketAllocs, rp.PacketGets)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type RunCfg struct {
 	// InstantReconverge models ideal-DRILL (no OSPF delay).
 	InstantReconverge bool
 
+	// DisablePool turns off fabric packet recycling for this run (the
+	// pre-pool fresh-allocation behaviour). Exists for the byte-identical
+	// pooled-vs-unpooled determinism test and for memory profiling.
+	DisablePool bool
+
 	// SampleQueues enables the 10µs queue-length STDV sampler of §3.2.3.
 	SampleQueues bool
 	// TrackGRO enables GRO batch accounting.
@@ -109,6 +114,12 @@ type RunResult struct {
 
 	Events uint64
 
+	// PacketGets counts packets the transport drew from the fabric's
+	// recycling pool; PacketAllocs counts how many of those were fresh heap
+	// allocations. Gets - Allocs is the allocation volume pooling avoided.
+	PacketGets   int64
+	PacketAllocs int64
+
 	// Wall is the host wall-clock duration of the run, setup through
 	// drain; SimSpan is the simulated time it covered. Together they give
 	// the sim-time/real-time ratio of per-cell progress lines.
@@ -141,11 +152,12 @@ func Run(cfg RunCfg) *RunResult {
 	t := cfg.Topo()
 	s := sim.New(cfg.Seed)
 	net := fabric.New(s, t, fabric.Config{
-		Balancer:  cfg.Scheme.New(),
-		Engines:   cfg.Engines,
-		QueueCap:  cfg.QueueCap,
-		VisFactor: cfg.VisFactor,
-		Tracer:    cfg.Tracer,
+		Balancer:    cfg.Scheme.New(),
+		Engines:     cfg.Engines,
+		QueueCap:    cfg.QueueCap,
+		VisFactor:   cfg.VisFactor,
+		DisablePool: cfg.DisablePool,
+		Tracer:      cfg.Tracer,
 	})
 	if cfg.Tracer != nil && cfg.TraceSample > 0 {
 		fabric.StartTraceSampler(net, cfg.TraceSample)
@@ -242,6 +254,8 @@ func Run(cfg RunCfg) *RunResult {
 		GROSegments:  reg.Stats.GROSegments,
 		CoreUtil:     coreUtil,
 		Events:       s.Executed,
+		PacketGets:   net.Pool().Gets,
+		PacketAllocs: net.Pool().News,
 		Wall:         time.Since(started), //drill:allow simtime wall timing of the whole run for RunResult.Wall, never a sim timestamp
 		SimSpan:      end + cfg.DrainLimit,
 	}

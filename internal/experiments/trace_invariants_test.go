@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"drill/internal/fabric"
+	"drill/internal/metrics"
 	"drill/internal/sim"
 	"drill/internal/topo"
 	"drill/internal/trace"
@@ -133,5 +134,94 @@ func TestConservationSeesDrops(t *testing.T) {
 	s.Halt()
 	if tr.Count(trace.Drop) == 0 {
 		t.Error("8-packet queues at 100% ECMP load dropped nothing; tighten the conservation fixture")
+	}
+}
+
+// TestUnreachableDropHopClassification pins the tier attribution of
+// unreachable-destination drops (trace Drop events with Port == -1: the
+// switch had no output port to charge). Long propagation wires keep ~8
+// packets in flight toward the spines when both spine→leaf1 links fail
+// with instant reconvergence, so the spines' empty tables must book those
+// drops against Hop2 — before the fix every unreachable drop was hardcoded
+// to Hop1, whichever tier dropped the packet. Late packets hitting leaf0's
+// emptied tables are legitimately Hop1; nothing else may appear at Port -1
+// in a 2-stage fabric.
+func TestUnreachableDropHopClassification(t *testing.T) {
+	tp := topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		CoreRate: 40 * units.Gbps, HostRate: 10 * units.Gbps,
+		Prop: 10 * units.Microsecond,
+	})
+	s := sim.New(3)
+	ring := trace.NewRing(1 << 14)
+	tr := trace.New(ring)
+	sc, _ := SchemeByName("ECMP")
+	net := fabric.New(s, tp, fabric.Config{Balancer: sc.New(), Tracer: tr})
+
+	src := net.Host(tp.Hosts[0])
+	dst := tp.Hosts[2] // under leaf1
+	const N = 100
+	for i := 0; i < N; i++ {
+		pkt := src.AllocPacket()
+		pkt.FlowID = uint64(i)
+		pkt.Hash = uint32(i) // spread across both spines
+		pkt.Dst = dst
+		pkt.Size = 1518
+		src.Send(pkt)
+	}
+	// The NIC paces one packet out every ~1.2µs; each then spends 10µs on
+	// the leaf→spine wire. Failing both spine-side links at 30µs therefore
+	// catches several packets mid-wire, deterministically.
+	leaf1 := tp.Leaves[1]
+	s.At(30*units.Microsecond, func() {
+		for _, l := range tp.Links {
+			ka, kb := tp.Nodes[l.A].Kind, tp.Nodes[l.B].Kind
+			if (ka == topo.Spine && l.B == leaf1) || (kb == topo.Spine && l.A == leaf1) {
+				net.FailLink(l.ID, true)
+			}
+		}
+	})
+	s.Run()
+
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring sink overflowed (%d events lost); grow the fixture's capacity", ring.Dropped())
+	}
+	byHop := map[uint8]int64{}
+	var unreachable int64
+	for _, ev := range ring.Events() {
+		if ev.Kind != trace.Drop {
+			continue
+		}
+		byHop[ev.Hop]++
+		if ev.Port == -1 {
+			unreachable++
+			if h := metrics.HopClass(ev.Hop); h != metrics.Hop1 && h != metrics.Hop2 {
+				t.Errorf("unreachable drop booked against %v; only leaf (hop1-up) and spine (hop2-down) tiers exist here", h)
+			}
+		}
+	}
+	if unreachable == 0 {
+		t.Fatal("no unreachable-destination drops; the empty-table path went unexercised")
+	}
+	spineUnreachable := false
+	for _, ev := range ring.Events() {
+		if ev.Kind == trace.Drop && ev.Port == -1 && metrics.HopClass(ev.Hop) == metrics.Hop2 {
+			spineUnreachable = true
+			break
+		}
+	}
+	if !spineUnreachable {
+		t.Error("no unreachable drop at a spine (Hop2); mid-wire packets should have arrived after reconvergence")
+	}
+	// The trace's per-hop drop tally and the fabric's HopStats are
+	// independent recordings of the same sites; they must agree per class.
+	for c := metrics.HopClass(0); c < metrics.NumHopClasses; c++ {
+		if got, want := byHop[uint8(c)], net.Hops.Drops[c]; got != want {
+			t.Errorf("%v: trace counted %d drops, fabric counted %d", c, got, want)
+		}
+	}
+	if delivered := net.Delivered; delivered+net.Hops.TotalDrops() != N {
+		t.Errorf("conservation: delivered %d + dropped %d != %d sent",
+			delivered, net.Hops.TotalDrops(), N)
 	}
 }

@@ -25,6 +25,14 @@ type Host struct {
 // Net returns the network the host is attached to.
 func (h *Host) Net() *Network { return h.net }
 
+// AllocPacket returns a zeroed packet from the network's recycling pool
+// (or a fresh allocation under Config.DisablePool). The transport layer
+// fills it and hands it back via Send; the fabric recycles it at its
+// terminal site (delivery or drop).
+//
+//drill:hotpath
+func (h *Host) AllocPacket() *Packet { return h.net.AllocPacket() }
+
 // Send stamps addressing/telemetry fields on pkt and queues it on the NIC.
 // Src must be this host; Dst must be another host.
 //

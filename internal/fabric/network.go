@@ -63,6 +63,13 @@ type Config struct {
 
 	Balancer Balancer
 
+	// DisablePool turns off packet recycling: AllocPacket returns fresh
+	// heap allocations and terminal sites release packets to the GC, the
+	// pre-pool behaviour. Results are byte-identical either way (a
+	// determinism test holds the data plane to that); the switch exists for
+	// that test and for memory-profiling the unpooled allocation volume.
+	DisablePool bool
+
 	// Tracer, when non-nil, receives packet-lifecycle events (enqueue,
 	// drop, tx-start, link-depart, arrive, deliver) from this network's
 	// data plane. Nil — the default — costs one branch per site and zero
@@ -124,7 +131,25 @@ type Network struct {
 	arriveObs ArriveObserver
 	sendHook  SendHook
 	tracer    *trace.Tracer
+
+	// pool recycles packets at deliver/drop sites; see pool.go.
+	pool PacketPool
 }
+
+// AllocPacket returns a zeroed packet for the transport layer to fill and
+// Send. With pooling enabled (the default) it recycles packets retired at
+// deliver/drop sites; with Cfg.DisablePool it is a plain allocation.
+//
+//drill:hotpath
+func (n *Network) AllocPacket() *Packet {
+	if n.Cfg.DisablePool {
+		return &Packet{}
+	}
+	return n.pool.Get()
+}
+
+// Pool exposes the packet free list's counters (alloc-avoidance telemetry).
+func (n *Network) Pool() *PacketPool { return &n.pool }
 
 // New assembles a network over t with the given balancer. Routes are
 // computed from the topology's current (link up/down) state.
@@ -178,6 +203,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 		}
 		sw := &Switch{
 			Node: nd.ID, Kind: nd.Kind,
+			dropHop:  dropHopClass(nd.Kind),
 			hostPort: map[topo.NodeID]int32{},
 			inIndex:  map[topo.ChanID]int{},
 			chanPort: map[topo.ChanID]int32{},
@@ -354,6 +380,24 @@ func (n *Network) FailLink(id topo.LinkID, instantReconverge bool) {
 	}
 }
 
+// dropHopClass buckets a packet dropped *at* a switch — no output port
+// exists, e.g. the destination is unreachable during a failure window — by
+// the switch's forwarding tier. Leaves would have forwarded on their
+// upward hop, spines/aggs on their downward hop toward a leaf, cores on
+// their downward hop toward an agg. Before this classification existed,
+// every such drop was booked against Hop1 regardless of tier, skewing the
+// per-hop drop counters and the trace conservation cross-check.
+func dropHopClass(kind topo.NodeKind) metrics.HopClass {
+	switch kind {
+	case topo.Leaf:
+		return metrics.Hop1
+	case topo.Spine, topo.Agg:
+		return metrics.Hop2
+	default:
+		return metrics.Down2
+	}
+}
+
 // classifyHop buckets a channel for per-hop telemetry.
 func classifyHop(t *topo.Topology, c topo.Chan) metrics.HopClass {
 	from, to := t.Nodes[c.From].Kind, t.Nodes[c.To].Kind
@@ -385,6 +429,7 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
+		n.pool.Put(pkt)
 		return
 	}
 	if p.Cap > 0 && int(p.QPkts) >= p.Cap {
@@ -393,6 +438,7 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
+		n.pool.Put(pkt)
 		return
 	}
 	pkt.enqAt = n.Sim.Now()
@@ -424,7 +470,7 @@ func (n *Network) transmit(p *Port) {
 	p.busy = true
 	wait := n.Sim.Now() - pkt.enqAt
 	n.Hops.RecordQueueing(p.Hop, wait)
-	pkt.HopWaitNs[p.Hop] += int32(wait)
+	pkt.HopWaitNs[p.Hop] += int64(wait)
 	// The head leaves the waiting queue as it starts onto the wire.
 	p.departVisibility(pkt.Size)
 	if n.tracer != nil {
@@ -464,6 +510,7 @@ func (n *Network) txDone(p *Port) {
 	if n.tracer != nil {
 		n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 	}
+	n.pool.Put(pkt)
 	n.drainPort(p)
 }
 
@@ -481,6 +528,7 @@ func (n *Network) drainPort(p *Port) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
+		n.pool.Put(pkt)
 	}
 }
 
@@ -497,6 +545,9 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 		if h.Handler != nil {
 			h.Handler.HandlePacket(h, pkt)
 		}
+		// The handler consumes the packet synchronously (transport copies
+		// what it keeps); a delivered packet is dead and can be recycled.
+		n.pool.Put(pkt)
 		return
 	}
 	sw := n.Switches[at]
@@ -541,11 +592,14 @@ func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
 	}
 	groups := sw.tables[pkt.DstLeafIdx]
 	if len(groups) == 0 {
-		// Destination unreachable from here (mid-failure window): drop.
-		n.Hops.RecordDrop(metrics.Hop1)
+		// Destination unreachable from here (mid-failure window): drop,
+		// booked against this switch's own forwarding tier (port -1: there
+		// is no output port to attribute it to).
+		n.Hops.RecordDrop(sw.dropHop)
 		if n.tracer != nil {
-			n.tracer.Packet(trace.Drop, n.Sim.Now(), -1, uint8(metrics.Hop1), pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+			n.tracer.Packet(trace.Drop, n.Sim.Now(), -1, uint8(sw.dropHop), pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
 		}
+		n.pool.Put(pkt)
 		return
 	}
 	var port int32

@@ -54,11 +54,17 @@ type Packet struct {
 	enqAt units.Time // when the packet entered its current queue
 
 	// HopWaitNs records the queueing wait experienced at each hop class,
-	// for reordering/root-cause analysis.
-	HopWaitNs [6]int32
+	// for reordering/root-cause analysis. int64 per hop: a single wait is a
+	// units.Time in nanoseconds, and anything ≥ 2.147 s would wrap an int32
+	// (RTO-backoff standing queues at failed-capacity hot spots get there).
+	HopWaitNs [6]int64
 
 	// Hops counts fabric switches traversed, to catch forwarding loops.
 	Hops int8
+
+	// poolState tracks PacketPool membership; see pool.go. Packets built by
+	// hand (tests, custom drivers) carry poolNone and are never recycled.
+	poolState uint8
 }
 
 // HeaderBytes is the wire overhead added to every segment (Ethernet + IP +

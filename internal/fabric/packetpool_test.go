@@ -1,0 +1,216 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+
+	"drill/internal/metrics"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+func TestPoolRecyclesZeroed(t *testing.T) {
+	var pool PacketPool
+	p := pool.Get()
+	// Dirty every recycling-sensitive field.
+	p.FlowID = 9
+	p.Hash = 0xdead
+	p.Kind = Ack
+	p.Seq = 1234
+	p.EchoTS = 55
+	p.ECNCE = true
+	p.CE = 3
+	p.Path = []topo.ChanID{1, 2, 3}
+	p.PathIdx = 2
+	p.HopWaitNs = [6]int64{1, 2, 3, 4, 5, 6}
+	p.Hops = 4
+	p.Sent = 99
+	p.enqAt = 98
+	pool.Put(p)
+
+	q := pool.Get()
+	if q != p {
+		t.Fatal("Get did not reuse the shelved packet")
+	}
+	want := Packet{poolState: poolLive}
+	if !reflect.DeepEqual(*q, want) {
+		t.Fatalf("recycled packet not zeroed: %+v", *q)
+	}
+	if pool.Gets != 2 || pool.News != 1 || pool.Puts != 1 {
+		t.Fatalf("pool counters gets=%d news=%d puts=%d, want 2/1/1",
+			pool.Gets, pool.News, pool.Puts)
+	}
+}
+
+func TestPoolIgnoresForeignPackets(t *testing.T) {
+	var pool PacketPool
+	p := &Packet{FlowID: 1}
+	pool.Put(p)
+	if pool.Puts != 0 || pool.Idle() != 0 {
+		t.Fatal("hand-built packet entered the pool")
+	}
+	if p.FlowID != 1 {
+		t.Fatal("hand-built packet was zeroed by Put")
+	}
+}
+
+func TestPoolDoubleRecyclePanics(t *testing.T) {
+	var pool PacketPool
+	p := pool.Get()
+	pool.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic")
+		}
+	}()
+	pool.Put(p)
+}
+
+func TestPoolGetPutAllocs(t *testing.T) {
+	// The recycle round trip is the hot path's allocation budget: zero.
+	var pool PacketPool
+	pool.Put(pool.Get())
+	allocs := testing.AllocsPerRun(1000, func() {
+		pool.Put(pool.Get())
+	})
+	if allocs != 0 {
+		t.Fatalf("Get+Put allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestDeliveredPoolPacketsAreRecycled proves the terminal sites feed the
+// free list: traffic pushed through the fabric from the pool comes back,
+// while the hand-built packets tests use stay untouched.
+func TestDeliveredPoolPacketsAreRecycled(t *testing.T) {
+	s, n, tp := newNet(t, Config{})
+	src := n.Host(tp.Hosts[0])
+	dst := tp.Hosts[2]
+	n.Host(dst).Handler = &sink{}
+	const N = 25
+	for i := 0; i < N; i++ {
+		pkt := src.AllocPacket()
+		pkt.FlowID = 1
+		pkt.Hash = 77
+		pkt.Dst = dst
+		pkt.Size = 1518
+		pkt.Seq = int64(i)
+		src.Send(pkt)
+	}
+	s.Run()
+	if n.Delivered != N {
+		t.Fatalf("delivered %d, want %d", n.Delivered, N)
+	}
+	if n.Pool().Puts != N {
+		t.Fatalf("pool recycled %d packets, want %d (every delivery is terminal)",
+			n.Pool().Puts, N)
+	}
+	if idle := n.Pool().Idle(); idle != N {
+		t.Fatalf("free list holds %d packets, want %d", idle, N)
+	}
+	// Steady state: the same traffic again must allocate no new packets.
+	news := n.Pool().News
+	for i := 0; i < N; i++ {
+		pkt := src.AllocPacket()
+		pkt.FlowID = 1
+		pkt.Hash = 77
+		pkt.Dst = dst
+		pkt.Size = 1518
+		src.Send(pkt)
+	}
+	s.Run()
+	if n.Pool().News != news {
+		t.Fatalf("steady-state rerun allocated %d fresh packets, want 0",
+			n.Pool().News-news)
+	}
+}
+
+// TestDroppedPoolPacketsAreRecycled covers the drop-site recycling paths:
+// queue overflow must return pooled packets to the free list too.
+func TestDroppedPoolPacketsAreRecycled(t *testing.T) {
+	s, n, tp := newNet(t, Config{Balancer: fixedLB{}, QueueCap: 4})
+	src1, src2 := n.Host(tp.Hosts[0]), n.Host(tp.Hosts[1])
+	dst := tp.Hosts[2]
+	n.Host(dst).Handler = &sink{}
+	const N = 50
+	for i := 0; i < N; i++ {
+		for _, src := range []*Host{src1, src2} {
+			pkt := src.AllocPacket()
+			pkt.FlowID = uint64(i%2 + 5)
+			pkt.Hash = uint32(i % 2)
+			pkt.Dst = dst
+			pkt.Size = 1518
+			src.Send(pkt)
+		}
+	}
+	s.Run()
+	if n.Hops.TotalDrops() == 0 {
+		t.Fatal("fixture dropped nothing; drop recycling untested")
+	}
+	// Every packet ended delivered or dropped; both sites recycle.
+	if n.Pool().Puts != 2*N {
+		t.Fatalf("pool recycled %d packets, want %d (delivered + dropped)",
+			n.Pool().Puts, 2*N)
+	}
+}
+
+func TestDisablePoolAllocatesFresh(t *testing.T) {
+	s, n, tp := newNet(t, Config{DisablePool: true})
+	src := n.Host(tp.Hosts[0])
+	dst := tp.Hosts[2]
+	n.Host(dst).Handler = &sink{}
+	pkt := src.AllocPacket()
+	pkt.FlowID = 1
+	pkt.Dst = dst
+	pkt.Size = 1518
+	src.Send(pkt)
+	s.Run()
+	if n.Pool().Gets != 0 || n.Pool().Puts != 0 {
+		t.Fatalf("DisablePool still moved packets through the pool: gets=%d puts=%d",
+			n.Pool().Gets, n.Pool().Puts)
+	}
+	if pkt.FlowID != 1 {
+		t.Fatal("unpooled packet was zeroed at its terminal site")
+	}
+}
+
+// TestHopWaitNoInt32Overflow is the regression test for the per-hop wait
+// accounting: a queueing wait beyond 2.147 s (int32 nanoseconds) must not
+// wrap negative. 200 packets serialized at 1 Mbps make the NIC queue's
+// tail wait tens of seconds.
+func TestHopWaitNoInt32Overflow(t *testing.T) {
+	tp := topo.LeafSpine(topo.LeafSpineConfig{Spines: 1, Leaves: 1, HostsPerLeaf: 2,
+		HostRate: 1 * units.Mbps, CoreRate: 1 * units.Mbps})
+	s := sim.New(1)
+	n := New(s, tp, Config{Balancer: fixedLB{}})
+	src := n.Host(tp.Hosts[0])
+	dst := tp.Hosts[1]
+	rx := &sink{}
+	n.Host(dst).Handler = rx
+
+	// 1518 B at 1 Mbps ≈ 12.1 ms serialization; packet i waits ~i·12.1 ms
+	// in the NIC queue, so the burst's tail waits well past the 2.147 s
+	// int32 boundary.
+	const N = 200
+	for i := 0; i < N; i++ {
+		src.Send(&Packet{FlowID: 1, Hash: 1, Dst: dst, Size: 1518, Seq: int64(i)})
+	}
+	s.Run()
+	if len(rx.got) != N {
+		t.Fatalf("delivered %d, want %d", len(rx.got), N)
+	}
+	last := rx.got[N-1]
+	wait := last.HopWaitNs[metrics.HostUp]
+	if wait < 0 {
+		t.Fatalf("hop wait wrapped negative: %d ns", wait)
+	}
+	if wait < int64(2200*units.Millisecond) {
+		t.Fatalf("tail wait %v too small to exercise the int32 boundary; fixture drifted",
+			units.Time(wait))
+	}
+	txTime := units.TxTime(1518, 1*units.Mbps)
+	if want := int64(txTime) * (N - 1); wait != want {
+		t.Fatalf("tail NIC wait = %d ns, want exactly %d (%d×serialization)",
+			wait, want, N-1)
+	}
+}

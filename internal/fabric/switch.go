@@ -3,6 +3,7 @@ package fabric
 import (
 	"math/rand"
 
+	"drill/internal/metrics"
 	"drill/internal/topo"
 )
 
@@ -46,6 +47,10 @@ func (e *Engine) State(gid int32, mk func() any) any {
 type Switch struct {
 	Node topo.NodeID
 	Kind topo.NodeKind
+
+	// dropHop is the hop class charged for packets dropped at this switch
+	// itself (destination unreachable): the switch's forwarding tier.
+	dropHop metrics.HopClass
 
 	OutPorts []int32 // Network port indexes of this switch's output ports
 

@@ -1,7 +1,10 @@
 // Package sim provides the discrete-event simulation engine underlying the
 // DRILL fabric models. It offers a nanosecond-resolution virtual clock, a
-// binary-heap event scheduler with deterministic FIFO tie-breaking, and
-// seeded random-number streams so every run is reproducible.
+// binary-heap event scheduler with deterministic FIFO tie-breaking,
+// cancellable re-armable Timers whose heap entries are index-tracked (so a
+// Reset or Stop relocates/deletes the live entry instead of abandoning a
+// tombstone), and seeded random-number streams so every run is
+// reproducible.
 package sim
 
 import (
@@ -14,6 +17,7 @@ type event struct {
 	at     units.Time
 	seq    uint64
 	fn     func()
+	timer  *Timer // non-nil when a Timer owns this entry (index-tracked)
 	daemon bool
 }
 
@@ -81,22 +85,33 @@ func (s *Sim) AfterDaemon(d units.Time, fn func()) {
 	s.push(event{at: t, seq: s.seq, fn: fn, daemon: true})
 }
 
-// Halt stops the run loop after the currently executing event returns.
+// Halt stops the run loop after the currently executing event returns. A
+// halt only affects the run in progress: the next call to Run or RunUntil
+// clears it and resumes dispatching from the current simulation state.
 func (s *Sim) Halt() { s.halted = true }
 
+// Halted reports whether Halt was called during the current/most recent run.
+func (s *Sim) Halted() bool { return s.halted }
+
 // Pending reports the number of scheduled events not yet dispatched.
+// Cancelled timer events are removed from the heap eagerly, so they never
+// count here.
 func (s *Sim) Pending() int { return len(s.heap) }
 
 // Run dispatches events in time order until only daemon events remain or
-// Halt is called.
+// Halt is called. Entering Run clears any previous halt, so a Sim halted
+// mid-run can be resumed.
 func (s *Sim) Run() {
+	s.halted = false
 	for len(s.heap) > s.daemons && !s.halted {
 		s.step()
 	}
 }
 
 // RunUntil dispatches events with time <= t, then advances the clock to t.
+// Like Run, it clears any previous halt on entry.
 func (s *Sim) RunUntil(t units.Time) {
+	s.halted = false
 	for len(s.heap) > 0 && !s.halted && s.heap[0].at <= t {
 		s.step()
 	}
@@ -116,49 +131,110 @@ func (s *Sim) step() {
 	ev.fn()
 }
 
-// push and pop implement a hand-rolled binary min-heap keyed on (at, seq).
-// container/heap's interface indirection costs measurably at the tens of
-// millions of events a single experiment point dispatches.
+// push, pop, siftUp, siftDown, and remove implement a hand-rolled binary
+// min-heap keyed on (at, seq). container/heap's interface indirection costs
+// measurably at the tens of millions of events a single experiment point
+// dispatches. Entries owned by a Timer carry a back-pointer whose heap
+// index is kept current through every move, so Reset/Stop relocate or
+// delete the live entry in O(log n) instead of abandoning tombstones.
+
+// setIdx records i as the heap position of the timer owning heap[i], if any.
+//
+//drill:hotpath
+func (s *Sim) setIdx(i int) {
+	if t := s.heap[i].timer; t != nil {
+		t.idx = i
+	}
+}
 
 //drill:hotpath
 func (s *Sim) push(ev event) {
 	s.heap = append(s.heap, ev)
 	i := len(s.heap) - 1
+	s.setIdx(i)
+	s.siftUp(i)
+}
+
+//drill:hotpath
+func (s *Sim) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !less(s.heap[i], s.heap[parent]) {
 			break
 		}
 		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		s.setIdx(i)
+		s.setIdx(parent)
 		i = parent
 	}
 }
 
 //drill:hotpath
-func (s *Sim) pop() event {
-	h := s.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = event{} // clear the closure so the GC can reclaim captures
-	s.heap = h[:last]
-	i := 0
+func (s *Sim) siftDown(i int) {
+	n := len(s.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
 		least := i
-		if l < last && less(s.heap[l], s.heap[least]) {
+		if l < n && less(s.heap[l], s.heap[least]) {
 			least = l
 		}
-		if r < last && less(s.heap[r], s.heap[least]) {
+		if r < n && less(s.heap[r], s.heap[least]) {
 			least = r
 		}
 		if least == i {
 			break
 		}
 		s.heap[i], s.heap[least] = s.heap[least], s.heap[i]
+		s.setIdx(i)
+		s.setIdx(least)
 		i = least
 	}
+}
+
+// fix restores the heap property after heap[i]'s key changed in place.
+//
+//drill:hotpath
+func (s *Sim) fix(i int) {
+	s.siftUp(i)
+	s.siftDown(i)
+}
+
+//drill:hotpath
+func (s *Sim) pop() event {
+	h := s.heap
+	top := h[0]
+	if top.timer != nil {
+		top.timer.idx = -1
+	}
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // clear the closure so the GC can reclaim captures
+	s.heap = h[:last]
+	if last > 0 {
+		s.setIdx(0)
+		s.siftDown(0)
+	}
 	return top
+}
+
+// remove deletes heap[i] (a cancelled timer entry) in O(log n).
+//
+//drill:hotpath
+func (s *Sim) remove(i int) {
+	h := s.heap
+	if t := h[i].timer; t != nil {
+		t.idx = -1
+	}
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		s.setIdx(i)
+	}
+	h[last] = event{}
+	s.heap = h[:last]
+	if i != last {
+		s.fix(i)
+	}
 }
 
 func less(a, b event) bool {
@@ -166,6 +242,69 @@ func less(a, b event) bool {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
+}
+
+// Timer is a cancellable, re-armable scheduled callback. Unlike At/After —
+// which are fire-and-forget — a Timer owns at most one live heap entry:
+// Reset moves that entry (or creates it) and Stop deletes it, both in
+// O(log n). Re-armed timers therefore never accumulate dead events in the
+// heap, which is what keeps per-flow retransmission timers O(1) in heap
+// space no matter how many times ACKs re-arm them.
+//
+// A Timer belongs to the single-threaded Sim that created it; the zero
+// value is not usable.
+type Timer struct {
+	s   *Sim
+	fn  func()
+	idx int // position in s.heap, or -1 when not scheduled
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires. The one
+// closure allocated here is reused across every Reset for the timer's
+// lifetime.
+func (s *Sim) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer requires a callback")
+	}
+	return &Timer{s: s, fn: fn, idx: -1}
+}
+
+// Armed reports whether the timer is scheduled to fire.
+func (t *Timer) Armed() bool { return t.idx >= 0 }
+
+// Reset (re)schedules the timer to fire d from now, cancelling any earlier
+// deadline. Like After, the new deadline takes a fresh FIFO tie-break
+// sequence number, so a reset timer fires after events already scheduled
+// at the same instant.
+//
+//drill:hotpath
+func (t *Timer) Reset(d units.Time) {
+	if d < 0 {
+		panic("sim: timer reset into the past")
+	}
+	s := t.s
+	at := s.now + d
+	s.seq++
+	if t.idx >= 0 {
+		s.heap[t.idx].at = at
+		s.heap[t.idx].seq = s.seq
+		s.fix(t.idx)
+		return
+	}
+	s.push(event{at: at, seq: s.seq, fn: t.fn, timer: t})
+}
+
+// Stop cancels the pending firing, if any, removing its heap entry
+// eagerly. It reports whether a firing was actually cancelled. Stopping an
+// unarmed timer is a no-op, so Stop is safe to call unconditionally.
+//
+//drill:hotpath
+func (t *Timer) Stop() bool {
+	if t.idx < 0 {
+		return false
+	}
+	t.s.remove(t.idx)
+	return true
 }
 
 // Ticker invokes fn every interval until the simulation drains or stop is

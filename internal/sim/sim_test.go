@@ -219,6 +219,195 @@ func TestDaemonEventsDoNotBlockDrain(t *testing.T) {
 	}
 }
 
+func TestHaltClearedOnNextRun(t *testing.T) {
+	s := New(1)
+	var got []units.Time
+	for _, at := range []units.Time{5, 10, 15} {
+		at := at
+		s.At(at, func() {
+			got = append(got, at)
+			if at == 5 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if len(got) != 1 || !s.Halted() {
+		t.Fatalf("first run dispatched %v, halted=%v", got, s.Halted())
+	}
+	// A halted Sim must resume on the next Run: halt is per-run, not sticky.
+	s.Run()
+	if len(got) != 3 {
+		t.Fatalf("resumed run dispatched %v, want all three events", got)
+	}
+	if s.Halted() {
+		t.Fatal("halt flag still set after a clean resume")
+	}
+}
+
+func TestHaltClearedOnRunUntil(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(10, func() { fired = true })
+	s.Halt()
+	s.RunUntil(20)
+	if !fired {
+		t.Fatal("RunUntil after Halt did not dispatch")
+	}
+	if s.Now() != 20 {
+		t.Fatalf("RunUntil after Halt left clock at %v, want 20", s.Now())
+	}
+}
+
+func TestTimerFires(t *testing.T) {
+	s := New(1)
+	var at units.Time = -1
+	tm := s.NewTimer(func() { at = s.Now() })
+	tm.Reset(7)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	s.Run()
+	if at != 7 {
+		t.Fatalf("timer fired at %v, want 7", at)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerResetMovesSingleEntry(t *testing.T) {
+	// The cancellable-timer contract: any number of re-arms holds exactly
+	// one live heap entry, and only the final deadline fires.
+	s := New(1)
+	fires := 0
+	tm := s.NewTimer(func() { fires++ })
+	for i := 0; i < 1000; i++ {
+		tm.Reset(units.Time(10 + i))
+		if got := s.Pending(); got != 1 {
+			t.Fatalf("after %d resets Pending() = %d, want 1", i+1, got)
+		}
+	}
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("timer fired %d times, want 1", fires)
+	}
+	if s.Now() != 1009 {
+		t.Fatalf("fired at %v, want the final deadline 1009", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.NewTimer(func() { fired = true })
+	if tm.Stop() {
+		t.Fatal("stopping an unarmed timer reported a cancellation")
+	}
+	tm.Reset(5)
+	if !tm.Stop() {
+		t.Fatal("Stop did not report cancelling an armed timer")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Stop, want 0 (entry removed eagerly)", s.Pending())
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	// A stopped timer can be re-armed.
+	tm.Reset(3)
+	s.Run()
+	if !fired {
+		t.Fatal("re-armed timer did not fire")
+	}
+}
+
+func TestTimerEarlierReset(t *testing.T) {
+	// Resetting to an earlier deadline must sift the entry up, not down.
+	s := New(1)
+	var got []units.Time
+	tm := s.NewTimer(func() { got = append(got, s.Now()) })
+	s.At(50, func() { got = append(got, s.Now()) })
+	tm.Reset(100)
+	tm.Reset(5)
+	s.Run()
+	if len(got) != 2 || got[0] != 5 || got[1] != 50 {
+		t.Fatalf("dispatch order = %v, want [5 50]", got)
+	}
+}
+
+func TestTimerFIFOTieBreakOnReset(t *testing.T) {
+	// A reset takes a fresh sequence number: at an equal deadline the timer
+	// fires after events that were scheduled before the reset.
+	s := New(1)
+	var got []string
+	s.At(10, func() { got = append(got, "event") })
+	tm := s.NewTimer(func() { got = append(got, "timer") })
+	tm.Reset(10)
+	s.Run()
+	if len(got) != 2 || got[0] != "event" || got[1] != "timer" {
+		t.Fatalf("tie-break order = %v, want [event timer]", got)
+	}
+}
+
+func TestTimerHeapIntegrity(t *testing.T) {
+	// Property: interleaving plain events with timer resets/stops preserves
+	// dispatch order and never corrupts the index-tracked heap.
+	f := func(ops []uint16) bool {
+		s := New(11)
+		var got []units.Time
+		timers := make([]*Timer, 4)
+		for i := range timers {
+			timers[i] = s.NewTimer(func() { got = append(got, s.Now()) })
+		}
+		for _, op := range ops {
+			tm := timers[int(op)%len(timers)]
+			switch d := units.Time(op >> 4); op % 3 {
+			case 0:
+				s.At(s.Now()+d, func() { got = append(got, s.Now()) })
+			case 1:
+				tm.Reset(d)
+			case 2:
+				tm.Stop()
+			}
+		}
+		s.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetAllocs(t *testing.T) {
+	// The re-arm path must be allocation-free: Reset moves the existing heap
+	// entry (or reuses the timer's one closure) rather than capturing a new
+	// closure per arm. Warm the heap first so append growth is excluded.
+	s := New(1)
+	tm := s.NewTimer(func() {})
+	tm.Reset(1)
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(5)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Stop allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkTimerReset(b *testing.B) {
+	s := New(1)
+	tm := s.NewTimer(func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(units.Time(i%97 + 1))
+	}
+	tm.Stop()
+}
+
 func BenchmarkScheduler(b *testing.B) {
 	s := New(1)
 	rng := rand.New(rand.NewSource(2))

@@ -37,7 +37,7 @@ type Receiver struct {
 	// fresh counters, so they only count if they genuinely overtake).
 	txMax      int32
 	inversions int
-	prevWaits  [6]int32
+	prevWaits  [6]int64
 	prevArrive units.Time
 
 	// lastDataTS echoes the send-timestamp of the packet that triggered the
@@ -93,7 +93,7 @@ func (r *Receiver) onData(pkt *fabric.Packet) {
 		}
 		// Blame the hop where the late packet waited longest relative to
 		// the packet it arrived behind.
-		best, bestD := 0, int32(-1<<31)
+		best, bestD := 0, int64(-1<<63)
 		for h := 0; h < 6; h++ {
 			if d := pkt.HopWaitNs[h] - r.prevWaits[h]; d > bestD {
 				bestD = d
@@ -184,14 +184,15 @@ func (r *Receiver) sendAck() {
 	}
 	r.lastAck = r.rcvNxt
 	r.ackedOnce = true
-	ack := &fabric.Packet{
-		FlowID: r.id, Hash: r.hash, Kind: fabric.Ack,
-		Dst:    r.peer,
-		Size:   fabric.AckBytes,
-		AckNo:  r.rcvNxt,
-		EchoTS: r.lastDataTS,
-		ECNCE:  r.lastECN,
-	}
+	ack := r.agent.host.AllocPacket()
+	ack.FlowID = r.id
+	ack.Hash = r.hash
+	ack.Kind = fabric.Ack
+	ack.Dst = r.peer
+	ack.Size = fabric.AckBytes
+	ack.AckNo = r.rcvNxt
+	ack.EchoTS = r.lastDataTS
+	ack.ECNCE = r.lastECN
 	r.agent.host.Send(ack)
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"drill/internal/fabric"
+	"drill/internal/sim"
 	"drill/internal/topo"
 	"drill/internal/trace"
 	"drill/internal/units"
@@ -29,8 +30,13 @@ type Sender struct {
 	hasRTT       bool
 	rto          units.Time
 	backoff      int
-	timerGen     int
-	timerArmed   bool
+
+	// rtoTimer is the flow's one retransmission timer. Every re-arm Resets
+	// this handle in place — one live heap entry per flow, ever — where the
+	// pre-cancellation design pushed a fresh generation-checked closure
+	// into the sim heap on every ACK and let the stale one rot until its
+	// deadline.
+	rtoTimer *sim.Timer
 
 	start    units.Time
 	fct      units.Time
@@ -98,7 +104,7 @@ func (s *Sender) trySend() {
 		s.emit(s.sndNxt, l)
 		s.sndNxt += int64(l)
 	}
-	if !s.timerArmed && s.sndNxt > s.sndUna {
+	if !s.rtoTimer.Armed() && s.sndNxt > s.sndUna {
 		s.armTimer()
 	}
 }
@@ -108,15 +114,17 @@ func (s *Sender) trySend() {
 //drill:hotpath
 func (s *Sender) emit(seq int64, l int32) {
 	s.txSeq++
-	pkt := &fabric.Packet{
-		FlowID: s.id, Hash: s.hash, Kind: fabric.Data,
-		Dst:  s.dst,
-		Size: units.ByteSize(l) + fabric.HeaderBytes,
-		Seq:  seq, Len: l,
-		AckNo:  s.size, // data packets carry the flow size for the receiver
-		EchoTS: s.reg.Sim.Now(),
-		TxSeq:  s.txSeq,
-	}
+	pkt := s.agent.host.AllocPacket()
+	pkt.FlowID = s.id
+	pkt.Hash = s.hash
+	pkt.Kind = fabric.Data
+	pkt.Dst = s.dst
+	pkt.Size = units.ByteSize(l) + fabric.HeaderBytes
+	pkt.Seq = seq
+	pkt.Len = l
+	pkt.AckNo = s.size // data packets carry the flow size for the receiver
+	pkt.EchoTS = s.reg.Sim.Now()
+	pkt.TxSeq = s.txSeq
 	s.agent.host.Send(pkt)
 }
 
@@ -184,8 +192,7 @@ func (s *Sender) newAck(ack int64) {
 	if s.sndNxt > s.sndUna {
 		s.armTimer()
 	} else {
-		s.timerGen++ // nothing outstanding: disarm
-		s.timerArmed = false
+		s.rtoTimer.Stop() // nothing outstanding: disarm
 	}
 }
 
@@ -247,23 +254,22 @@ func (s *Sender) sampleRTT(rtt units.Time) {
 	s.rto = rto
 }
 
+// armTimer (re)schedules the flow's RTO: a Reset of the one live timer, so
+// re-arms move the existing heap entry instead of abandoning it.
+//
+//drill:hotpath
 func (s *Sender) armTimer() {
-	s.timerGen++
-	gen := s.timerGen
-	s.timerArmed = true
 	d := s.rto << uint(s.backoff)
 	if d > s.reg.Cfg.MaxRTO {
 		d = s.reg.Cfg.MaxRTO
 	}
-	s.reg.Sim.After(d, func() {
-		if gen != s.timerGen || s.done {
-			return
-		}
-		s.onTimeout()
-	})
+	s.rtoTimer.Reset(d)
 }
 
 func (s *Sender) onTimeout() {
+	if s.done {
+		return // defensive: finish() stops the timer, so this cannot fire
+	}
 	s.reg.Stats.Timeouts++
 	if tr := s.reg.tracer; tr != nil {
 		tr.Flow(trace.Timeout, s.reg.Sim.Now(), s.id, s.sndUna, float64(s.backoff))
@@ -322,7 +328,7 @@ func maxf(a, b float64) float64 {
 
 func (s *Sender) finish(now units.Time) {
 	s.done = true
-	s.timerGen++
+	s.rtoTimer.Stop() // remove the pending RTO from the sim heap eagerly
 	s.fct = now - s.start
 	s.reg.Stats.FlowsFinished++
 	if s.measured {

@@ -208,6 +208,9 @@ func (r *Registry) StartFlow(src, dst topo.NodeID, size int64, class string) *Se
 		start:    r.Sim.Now(),
 		measured: r.Sim.Now() >= r.MeasureFrom,
 	}
+	// The flow's one RTO timer: allocated once here, re-armed in place for
+	// the flow's whole lifetime.
+	s.rtoTimer = r.Sim.NewTimer(s.onTimeout)
 	r.agents[src].senders[id] = s
 	s.trySend()
 	return s

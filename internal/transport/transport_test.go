@@ -222,3 +222,37 @@ func TestFlowHashStable(t *testing.T) {
 		t.Fatal("flow hash ignores flow id")
 	}
 }
+
+// TestNoStaleRTOEventsAtCompletion is the regression test for the
+// one-timer-per-flow RTO design. Every ACK re-arms the retransmission
+// timer; the old arm-by-closure scheme left one dead heap entry per ACK,
+// so a 400-packet flow finished with ~400 stale events still pending.
+// Reset now moves the flow's single timer entry in place, so the instant a
+// flow completes the heap holds only the handful of in-flight data-plane
+// events — and the flow's timer is disarmed.
+func TestNoStaleRTOEventsAtCompletion(t *testing.T) {
+	s, _, r, tp := testbed(t, lb.ECMP{}, Config{})
+	const pkts = 400
+	var pendingAtDone int
+	r.OnComplete = func(f *Sender) {
+		if f.rtoTimer.Armed() {
+			t.Error("RTO timer still armed at flow completion")
+		}
+		pendingAtDone = s.Pending()
+	}
+	f := r.StartFlow(tp.Hosts[0], tp.Hosts[4], pkts*1460, "")
+	s.Run()
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	// Generous bound: port visibility events and the tail of the ACK path
+	// may still be in flight, but nothing proportional to the flow length.
+	if pendingAtDone > 16 {
+		t.Fatalf("%d events pending at flow completion; want O(1), not O(packets) — stale RTO closures are accumulating again", pendingAtDone)
+	}
+	// With the whole simulation drained, the heap must be empty: Stop()
+	// removes timer entries instead of abandoning them.
+	if s.Pending() != 0 {
+		t.Fatalf("%d events pending after Run drained", s.Pending())
+	}
+}
