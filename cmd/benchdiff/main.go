@@ -1,0 +1,64 @@
+// Command benchdiff compares two BENCH_*.json performance snapshots and
+// reports per-cell deltas against the regression tolerances (events/s
+// within 25%, allocs/event within +0.5, micro allocs within +0.5).
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_new.json [-json diff.json] [-strict]
+//
+// The exit status is 0 even when regressions are found, so callers can
+// treat the diff as advisory; -strict exits 1 on any regression, which is
+// how CI turns the step red while continue-on-error keeps it warn-only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"drill/internal/experiments"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_baseline.json", "baseline snapshot to compare against")
+		current  = flag.String("current", "", "fresh drillbench snapshot to judge")
+		jsonOut  = flag.String("json", "", "also write the diff as JSON to this file")
+		strict   = flag.Bool("strict", false, "exit 1 when any tolerance is exceeded")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := experiments.ReadBenchReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := experiments.ReadBenchReport(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	d := experiments.DiffBench(base, cur)
+	fmt.Print(d.Format())
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: encode: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *strict && d.Regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -7,7 +7,19 @@
 //	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-workers 4] [-q]
 //	drillsim -exp qtrace -trace events.csv [-trace-sample 10us]
 //	drillsim -exp fig6a -cpuprofile cpu.pprof -memprofile mem.pprof
+//	drillsim -exp fig11 -metrics-addr :9137 -progress -manifest fig11.manifest.json
 //	drillsim -exp all
+//
+// -metrics-addr serves the live metrics registry while experiments run:
+// Prometheus text exposition at /metrics, the same snapshot as JSON at
+// /metrics.json, the retained snapshot ring at /snapshots.json. -progress
+// prints a one-line heartbeat (sim time, events/s, cells done, ETA) to
+// stderr each wall second; it is forced off for sequential runs so
+// -workers 1 output stays the determinism reference. -manifest writes a
+// provenance record (build info, git revision, seed, per-cell config
+// hashes and counters) next to the experiment output. None of these touch
+// the simulation: metrics observe, never steer, and reports stay
+// byte-identical with them on or off.
 //
 // Sweep cells fan out across -workers goroutines; reports are
 // byte-identical for a fixed seed at any worker count, and -workers 1
@@ -31,6 +43,8 @@ import (
 	"time"
 
 	"drill/internal/experiments"
+	"drill/internal/obs"
+	"drill/internal/obs/obshttp"
 	"drill/internal/trace"
 	"drill/internal/units"
 )
@@ -51,6 +65,11 @@ func main() {
 		traceSample = flag.Duration("trace-sample", 10*time.Microsecond, "queue-depth/utilization sampling period when -trace is set")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		progressHB    = flag.Bool("progress", false, "print a sweep heartbeat line to stderr every wall second (forced off at -workers 1)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve live metrics on this address (Prometheus text at /metrics, JSON at /metrics.json; :0 picks a free port)")
+		metricsSample = flag.Duration("metrics-sample", 100*time.Microsecond, "sim-time snapshot interval when live metrics are enabled")
+		manifestOut   = flag.String("manifest", "", "write a provenance manifest (build info, seed, per-cell config hashes) to this JSON file")
 	)
 	flag.Parse()
 
@@ -142,6 +161,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		}
 	}
+
+	// The heartbeat exists for watching multi-worker sweeps; sequential
+	// (-workers 1) invocations are how determinism is checked and compared,
+	// so they stay heartbeat-free by construction. Tracing forces workers=1
+	// and is covered by the same rule.
+	if *progressHB && (resolved == 1 || *traceOut != "") {
+		fmt.Fprintf(os.Stderr, "drillsim: -progress is forced off for sequential runs (-workers 1 or -trace)\n")
+		*progressHB = false
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" || *progressHB {
+		reg = obs.NewRegistry(32)
+		opts.Obs = reg
+		opts.ObsSample = units.Time(metricsSample.Nanoseconds())
+	}
+	if *metricsAddr != "" {
+		srv, err := obshttp.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drillsim: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "drillsim: serving metrics at %s/metrics (JSON at /metrics.json)\n", srv.URL())
+		defer srv.Close()
+	}
+	var man *obs.Manifest
+	if *manifestOut != "" {
+		man = obs.NewManifest(strings.Join(os.Args, " "), *seed)
+		man.StartedAt = time.Now().UTC().Format(time.RFC3339) //drill:allow simtime manifest start stamp is wall provenance, never a sim timestamp
+		opts.Manifest = man
+	}
 	if *loads != "" {
 		for _, part := range strings.Split(*loads, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -161,12 +210,17 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	var hb *heartbeat
+	if *progressHB {
+		hb = startHeartbeat(reg, os.Stderr, 1*time.Second)
+	}
 	for _, id := range ids {
 		e := experiments.Get(strings.TrimSpace(id))
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "drillsim: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
+		opts.ExpID = e.ID
 		start := time.Now() //drill:allow simtime wall timing of the experiment for the stderr progress line
 		rep := e.Run(opts)
 		// Wall-clock timing goes to stderr: stdout is byte-identical for a
@@ -194,5 +248,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "drillsim: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+	}
+	if hb != nil {
+		hb.Stop()
+	}
+	if man != nil {
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drillsim: -manifest: %v\n", err)
+			os.Exit(1)
+		}
+		werr := man.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "drillsim: -manifest: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "drillsim: wrote %s %s\n", *manifestOut, man)
 	}
 }

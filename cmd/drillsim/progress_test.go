@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"drill/internal/obs"
+	"drill/internal/units"
+)
+
+// syncBuffer serializes writes: the heartbeat goroutine writes while the
+// test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+// TestHeartbeatLines drives the heartbeat against a hand-populated
+// registry playing the part of a mid-flight sweep (2 of 4 cells done, one
+// run at 1.5ms sim time) and checks the emitted lines carry every field
+// the flag promises: sim time, events/s, cells done/total, and an ETA.
+func TestHeartbeatLines(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	runEv := reg.Gauge("drill_run_events", `exp="x",cell="0"`, "test")
+	runEv.Set(5e6)
+	reg.Gauge("drill_run_events", `exp="x",cell="1"`, "test").Set(3e6)
+	reg.Counter("drill_runner_cells_done_total", `exp="x"`, "test").Add(2)
+	reg.Gauge("drill_runner_cells_total", `exp="x"`, "test").Set(4)
+	reg.Snapshot(1500 * units.Microsecond)
+
+	var out syncBuffer
+	hb := startHeartbeat(reg, &out, 5*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out.String(), "progress:") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	runEv.Set(6e6) // events advance between ticks → non-trivial rate on later lines
+	time.Sleep(15 * time.Millisecond)
+	hb.Stop()
+	got := out.String()
+
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) == 0 || !strings.Contains(lines[0], "progress:") {
+		t.Fatalf("no heartbeat lines emitted; output: %q", got)
+	}
+	want := regexp.MustCompile(`progress: sim=1\.50ms ev/s=\S+ cells=2/4 eta=(~\S+|\?)`)
+	if !want.MatchString(lines[0]) {
+		t.Errorf("heartbeat line %q does not match %v", lines[0], want)
+	}
+
+	// Stop must be terminal: no further lines after it returns.
+	settled := out.String()
+	time.Sleep(20 * time.Millisecond)
+	if out.String() != settled {
+		t.Error("heartbeat kept writing after Stop")
+	}
+}
+
+// TestSumFamily pins the helper: sums across label sets of one family,
+// ignores other families.
+func TestSumFamily(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	reg.Gauge("a", `cell="0"`, "t").Set(1)
+	reg.Gauge("a", `cell="1"`, "t").Set(2)
+	reg.Gauge("b", ``, "t").Set(40)
+	s := reg.Capture(0)
+	if got := sumFamily(s, "a"); got != 3 {
+		t.Errorf("sumFamily(a) = %v, want 3", got)
+	}
+	if got := sumFamily(s, "nope"); got != 0 {
+		t.Errorf("sumFamily(nope) = %v, want 0", got)
+	}
+}

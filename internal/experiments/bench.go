@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"drill/internal/fabric"
+	"drill/internal/obs"
 	"drill/internal/sim"
 	"drill/internal/topo"
 	"drill/internal/transport"
@@ -101,6 +102,11 @@ type BenchReport struct {
 
 	Cells []BenchCellResult `json:"cells"`
 	Micro MicroAllocs       `json:"micro"`
+
+	// Provenance self-describes the snapshot: which binary (git revision,
+	// dirty flag) produced it, with one row per cell carrying the config
+	// hash. Absent from snapshots older than the field.
+	Provenance *obs.Manifest `json:"provenance,omitempty"`
 }
 
 // RunBenchCell executes one cell and measures it. The heap is settled with
@@ -168,6 +174,7 @@ func RunBench(seed int64, progress func(format string, args ...any)) BenchReport
 		NumCPU:    runtime.NumCPU(),
 		Seed:      seed,
 	}
+	rep.Provenance = obs.NewManifest("drillbench", seed)
 	for _, c := range BenchCells(seed) {
 		r := RunBenchCell(c)
 		if progress != nil {
@@ -176,6 +183,11 @@ func RunBench(seed int64, progress func(format string, args ...any)) BenchReport
 				float64(r.PeakHeapBytes)/1e6)
 		}
 		rep.Cells = append(rep.Cells, r)
+		rep.Provenance.Add(obs.CellSummary{
+			Cell: r.Name, Scheme: r.Scheme, Seed: seed, Load: r.Load,
+			ConfigHash: obs.ConfigHash(provConfig(c.Cfg)),
+			Events:     r.Events, Flows: r.Flows, WallNs: r.WallNs,
+		})
 	}
 	rep.Micro = BenchMicroAllocs()
 	if progress != nil {

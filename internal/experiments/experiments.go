@@ -13,8 +13,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
+	"drill/internal/obs"
 	"drill/internal/trace"
 	"drill/internal/units"
 )
@@ -49,6 +51,23 @@ type Options struct {
 	// TraceSample is the queue-depth/utilization sampling period used when
 	// tracing is on (default 10µs).
 	TraceSample units.Time
+
+	// ExpID is the id of the experiment being run ("fig6a", ...). drillsim
+	// sets it before invoking Experiment.Run; it labels metric series and
+	// manifest rows, and is otherwise inert.
+	ExpID string
+	// Obs, when non-nil, attaches the live metrics registry to every run
+	// of the sweep: per-cell fabric and transport families under
+	// exp/cell labels, a runner family (cells done, events/s, sim-rate),
+	// and a sim-time snapshotter per run. Metrics observe, never steer —
+	// reports stay byte-identical with Obs on or off.
+	Obs *obs.Registry
+	// ObsSample overrides the per-run snapshot interval (default 100µs).
+	ObsSample units.Time
+	// Manifest, when non-nil, collects one provenance row per completed
+	// cell, in submission order regardless of worker count. The caller
+	// writes it next to the experiment output.
+	Manifest *obs.Manifest
 }
 
 func (o *Options) defaults() {
@@ -90,7 +109,38 @@ func (o *Options) runAll(cfgs []RunCfg, done func(i int, res *RunResult)) []*Run
 			}
 		}
 	}
-	return RunAll(cfgs, w, done)
+	if o.Obs != nil {
+		rm := newRunnerMetrics(o.Obs, o.ExpID, len(cfgs))
+		for i := range cfgs {
+			if cfgs[i].Obs == nil {
+				cfgs[i].Obs = o.Obs
+				cfgs[i].ObsScope = cellScope(o.ExpID, i)
+				cfgs[i].ObsSample = o.ObsSample
+			}
+		}
+		inner := done
+		done = func(i int, res *RunResult) {
+			rm.observe(res) // done callbacks are serialized by the pool
+			if inner != nil {
+				inner(i, res)
+			}
+		}
+	}
+	results := RunAll(cfgs, w, done)
+	if o.Manifest != nil {
+		// Collected from the returned slice, not the done callback, so
+		// manifest rows are in submission order at any worker count.
+		for i, res := range results {
+			if res == nil {
+				continue
+			}
+			cs := res.Prov
+			cs.Exp = o.ExpID
+			cs.Cell = strconv.Itoa(i)
+			o.Manifest.Add(cs)
+		}
+	}
+	return results
 }
 
 // timing renders the per-cell run-timing suffix of progress lines.

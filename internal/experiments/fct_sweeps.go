@@ -68,9 +68,9 @@ func (f *fctSweep) run(o Options) [][]sweepCell {
 	}
 	results := o.runAll(cfgs, func(i int, res *RunResult) {
 		k := keys[i]
-		o.progress("%-16s load=%.0f%%  flows=%d  meanFCT=%.3fms  p99.99=%.3fms  drops=%d  events=%d  [%s]",
+		o.progress("%-16s load=%.0f%%  flows=%d  meanFCT=%.3fms  p99.99=%.3fms  drops=%d  retx=%d  ooo=%d  events=%d  [%s]",
 			f.schemes[k.si].Name, f.loads[k.li]*100, res.FCT.Count(), res.FCT.Mean(),
-			res.FCT.Percentile(99.99), res.Drops, res.Events, timing(res))
+			res.FCT.Percentile(99.99), res.Drops, res.Retransmits, res.OutOfOrder, res.Events, timing(res))
 	})
 
 	out := make([][]sweepCell, len(f.schemes))
@@ -87,6 +87,9 @@ func (f *fctSweep) run(o Options) [][]sweepCell {
 			merged.Drops += res.Drops
 			merged.Flows += res.Flows
 			merged.Events += res.Events
+			merged.Retransmits += res.Retransmits
+			merged.Timeouts += res.Timeouts
+			merged.OutOfOrder += res.OutOfOrder
 		}
 	}
 	return out
@@ -105,6 +108,24 @@ func (f *fctSweep) tabulate(r *Report, cells [][]sweepCell, stat func(*RunResult
 			row = append(row, fmtMs(stat(cells[si][li].res)))
 		}
 		r.AddRow(row...)
+	}
+	f.noteTransportHealth(r, cells)
+}
+
+// noteTransportHealth surfaces the transport.Stats aggregates of the
+// sweep: a scheme that "wins" on FCT while drowning in retransmissions
+// or reordering is telling a different story than the headline table.
+func (f *fctSweep) noteTransportHealth(r *Report, cells [][]sweepCell) {
+	for si, sc := range f.schemes {
+		var retx, rto, ooo int64
+		for li := range f.loads {
+			res := cells[si][li].res
+			retx += res.Retransmits
+			rto += res.Timeouts
+			ooo += res.OutOfOrder
+		}
+		r.Note("%-16s transport health: retransmits=%d rto=%d out-of-order=%d",
+			sc.Name, retx, rto, ooo)
 	}
 }
 

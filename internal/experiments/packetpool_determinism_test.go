@@ -12,9 +12,9 @@ import (
 // still referenced, or Put leaves a stale field behind, some flow's FCT,
 // retransmit count, or hop telemetry shifts and the strings diverge.
 func fingerprint(r *RunResult) string {
-	return fmt.Sprintf("fct(n=%d mean=%v p50=%v p99=%v) flows=%d drops=%d retx=%d rto=%d ev=%d hops=%v util=%.6f",
+	return fmt.Sprintf("fct(n=%d mean=%v p50=%v p99=%v) flows=%d drops=%d retx=%d rto=%d ooo=%d ev=%d hops=%v util=%.6f",
 		r.FCT.Count(), r.FCT.Mean(), r.FCT.Percentile(50), r.FCT.Percentile(99),
-		r.Flows, r.Drops, r.Retransmits, r.Timeouts, r.Events, r.Hops.Drops, r.CoreUtil)
+		r.Flows, r.Drops, r.Retransmits, r.Timeouts, r.OutOfOrder, r.Events, r.Hops.Drops, r.CoreUtil)
 }
 
 // TestPoolingIsByteIdentical holds packet recycling to its core contract:

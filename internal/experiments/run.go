@@ -5,6 +5,7 @@ import (
 
 	"drill/internal/fabric"
 	"drill/internal/metrics"
+	"drill/internal/obs"
 	"drill/internal/sim"
 	"drill/internal/topo"
 	"drill/internal/trace"
@@ -78,6 +79,18 @@ type RunCfg struct {
 	// queue-depth / port-utilization sampler at that interval.
 	TraceSample units.Time
 
+	// Obs, when non-nil, registers this run's fabric and transport metric
+	// families in the registry (scoped by ObsScope labels) and attaches a
+	// sim-time snapshotter publishing every ObsSample. Metrics observe and
+	// never steer: enabling them changes no result byte (see
+	// TestMetricsAreByteIdentical).
+	Obs *obs.Registry
+	// ObsScope is a pre-rendered label body (e.g. `exp="fig6a",cell="3"`)
+	// distinguishing this run's series in a shared registry.
+	ObsScope string
+	// ObsSample is the snapshot interval (default 100µs).
+	ObsSample units.Time
+
 	// Synthetic, when non-nil, replaces the Poisson workload (Table 1).
 	Synthetic func(reg *transport.Registry, until units.Time) *workload.Synthetic
 
@@ -103,6 +116,7 @@ type RunResult struct {
 	Drops       int64
 	Retransmits int64
 	Timeouts    int64
+	OutOfOrder  int64 // data packets arriving out of emission order
 	GROBatches  int64
 	GROSegments int64
 
@@ -125,6 +139,12 @@ type RunResult struct {
 	// the sim-time/real-time ratio of per-cell progress lines.
 	Wall    time.Duration
 	SimSpan units.Time
+
+	// Prov is this run's provenance record: scheme, seed, config hash, and
+	// headline counters, ready to drop into a manifest. Deterministic
+	// fields only — wall time lives in WallNs and is excluded from
+	// determinism fingerprints.
+	Prov obs.CellSummary
 }
 
 // SimRate returns simulated seconds advanced per wall-clock second.
@@ -168,6 +188,25 @@ func Run(cfg RunCfg) *RunResult {
 	})
 	reg.MeasureFrom = cfg.Warmup
 	end := cfg.Warmup + cfg.Measure
+
+	var snap *obs.Snapshotter
+	if cfg.Obs != nil {
+		every := cfg.ObsSample
+		if every == 0 {
+			every = 100 * units.Microsecond
+		}
+		fm := net.EnableMetrics(cfg.Obs, cfg.ObsScope)
+		reg.EnableMetrics(cfg.Obs, cfg.ObsScope)
+		// Live run progress for scrapes and the drillsim heartbeat: the
+		// final value equals RunResult.Events (observer events are excluded
+		// from Executed), so summing the family across cell scopes gives the
+		// sweep's total event count whether cells are finished or mid-run.
+		ev := cfg.Obs.Gauge("drill_run_events", cfg.ObsScope,
+			"Events dispatched so far by this run; settles at the run's total.")
+		snap = obs.StartSnapshotter(s, cfg.Obs, every, fm.Refresh, func(units.Time) {
+			ev.Set(float64(s.Executed))
+		})
+	}
 
 	// Pre-run failures.
 	if cfg.FailLinks > 0 && cfg.FailAt == 0 {
@@ -230,6 +269,11 @@ func Run(cfg RunCfg) *RunResult {
 	// Let measured in-flight flows drain so tail FCTs are complete.
 	s.RunUntil(end + cfg.DrainLimit)
 	s.Halt()
+	if snap != nil {
+		// Publish the terminal state even if the run ended mid-interval.
+		snap.Final(s.Now())
+		snap.Stop()
+	}
 
 	var coreCap float64
 	for _, p := range uplinks {
@@ -250,6 +294,7 @@ func Run(cfg RunCfg) *RunResult {
 		Drops:        net.Hops.TotalDrops(),
 		Retransmits:  reg.Stats.Retransmits,
 		Timeouts:     reg.Stats.Timeouts,
+		OutOfOrder:   reg.Stats.OutOfOrder,
 		GROBatches:   reg.Stats.GROBatches,
 		GROSegments:  reg.Stats.GROSegments,
 		CoreUtil:     coreUtil,
@@ -266,7 +311,61 @@ func Run(cfg RunCfg) *RunResult {
 	if syn != nil {
 		res.ElephantGbps = syn.ElephantGoodput(cfg.Measure + cfg.DrainLimit)
 	}
+	res.Prov = obs.CellSummary{
+		Scheme:      cfg.Scheme.Name,
+		Seed:        cfg.Seed,
+		Load:        cfg.Load,
+		ConfigHash:  obs.ConfigHash(provConfig(cfg)),
+		Events:      res.Events,
+		Flows:       res.Flows,
+		Drops:       res.Drops,
+		Retransmits: res.Retransmits,
+		Timeouts:    res.Timeouts,
+		OutOfOrder:  res.OutOfOrder,
+		WallNs:      res.Wall.Nanoseconds(),
+	}
+	if res.FCT.Count() > 0 {
+		res.Prov.FCTMeanUs = res.FCT.Mean() * 1000 // Stats.FCT is in ms
+		res.Prov.FCTP99Us = res.FCT.Percentile(99) * 1000
+	}
 	return res
+}
+
+// provConfig is the hashable view of a RunCfg: every behaviour-relevant
+// scalar field, none of the function or pointer fields (topology builders
+// and hooks identify themselves through the scheme/experiment names).
+// Feeding it to obs.ConfigHash gives two runs the same hash iff they were
+// configured identically.
+func provConfig(cfg RunCfg) any {
+	return struct {
+		Scheme            string
+		Shim              int64
+		Seed              int64
+		Engines           int
+		QueueCap          int
+		Load              float64
+		WarmupNs          int64
+		MeasureNs         int64
+		DrainNs           int64
+		IncastNs          int64
+		FailLinks         int
+		FailAtNs          int64
+		InstantReconverge bool
+		DisablePool       bool
+		SampleQueues      bool
+		TrackGRO          bool
+		VisFactor         float64
+		Synthetic         bool
+	}{
+		Scheme: cfg.Scheme.Name, Shim: int64(cfg.Scheme.Shim), Seed: cfg.Seed,
+		Engines: cfg.Engines, QueueCap: cfg.QueueCap, Load: cfg.Load,
+		WarmupNs: int64(cfg.Warmup), MeasureNs: int64(cfg.Measure),
+		DrainNs: int64(cfg.DrainLimit), IncastNs: int64(cfg.IncastPeriod),
+		FailLinks: cfg.FailLinks, FailAtNs: int64(cfg.FailAt),
+		InstantReconverge: cfg.InstantReconverge, DisablePool: cfg.DisablePool,
+		SampleQueues: cfg.SampleQueues, TrackGRO: cfg.TrackGRO,
+		VisFactor: cfg.VisFactor, Synthetic: cfg.Synthetic != nil,
+	}
 }
 
 // allLeafUplinks collects every leaf's fabric-facing output ports.

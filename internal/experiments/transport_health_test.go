@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/trace"
+	"drill/internal/units"
+)
+
+// lossyCellCfg is the known-lossy cell the transport-health pin runs on:
+// per-packet Random spraying (maximal reordering) into 8-packet queues at
+// 90% load guarantees drops, retransmissions, and out-of-order arrivals.
+func lossyCellCfg(seed int64) RunCfg {
+	sc, ok := SchemeByName("Random")
+	if !ok {
+		panic("experiments: Random scheme missing")
+	}
+	return RunCfg{
+		Topo: fig6Topo(0), Scheme: sc, Seed: seed,
+		Load: 0.9, QueueCap: 8,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	}
+}
+
+// TestTransportHealthPinnedOnLossyCell pins the surfaced transport.Stats
+// aggregates three ways on the lossy cell: they must be non-trivial (the
+// cell really is lossy), they must equal the tracer's independent event
+// counts (the aggregates count the same occurrences the trace layer
+// sees), and they must reproduce exactly across runs (they are part of
+// the deterministic result surface, not telemetry noise).
+func TestTransportHealthPinnedOnLossyCell(t *testing.T) {
+	run := func() (*RunResult, *trace.Tracer) {
+		cfg := lossyCellCfg(21)
+		tr := trace.New(nil) // nil sink: count events only
+		cfg.Tracer = tr
+		return Run(cfg), tr
+	}
+	res, tr := run()
+
+	if res.Retransmits == 0 {
+		t.Error("lossy cell produced no retransmits; the cell is not exercising loss recovery")
+	}
+	if res.OutOfOrder == 0 {
+		t.Error("Random spraying produced no out-of-order arrivals")
+	}
+	if res.Drops == 0 {
+		t.Error("lossy cell produced no drops")
+	}
+	if got, want := res.Retransmits, tr.Count(trace.Retransmit); got != want {
+		t.Errorf("RunResult.Retransmits = %d, tracer counted %d", got, want)
+	}
+	if got, want := res.Timeouts, tr.Count(trace.Timeout); got != want {
+		t.Errorf("RunResult.Timeouts = %d, tracer counted %d", got, want)
+	}
+	if got, want := res.OutOfOrder, tr.Count(trace.OutOfOrder); got != want {
+		t.Errorf("RunResult.OutOfOrder = %d, tracer counted %d", got, want)
+	}
+
+	res2, _ := run()
+	if res.Retransmits != res2.Retransmits || res.Timeouts != res2.Timeouts ||
+		res.OutOfOrder != res2.OutOfOrder {
+		t.Errorf("transport health not reproducible: (%d,%d,%d) vs (%d,%d,%d)",
+			res.Retransmits, res.Timeouts, res.OutOfOrder,
+			res2.Retransmits, res2.Timeouts, res2.OutOfOrder)
+	}
+
+	// The aggregates flow through to the sweep merge path.
+	var merged RunResult
+	merged.Retransmits = res.Retransmits + res2.Retransmits
+	merged.OutOfOrder = res.OutOfOrder + res2.OutOfOrder
+	if merged.Retransmits != 2*res.Retransmits || merged.OutOfOrder != 2*res.OutOfOrder {
+		t.Error("aggregate merge arithmetic broken")
+	}
+}

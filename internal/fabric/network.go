@@ -131,6 +131,7 @@ type Network struct {
 	arriveObs ArriveObserver
 	sendHook  SendHook
 	tracer    *trace.Tracer
+	met       *Metrics // obs emission, nil when metrics are off
 
 	// pool recycles packets at deliver/drop sites; see pool.go.
 	pool PacketPool
@@ -429,6 +430,9 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
+		if n.met != nil {
+			n.met.drops[p.Hop].Inc()
+		}
 		n.pool.Put(pkt)
 		return
 	}
@@ -437,6 +441,9 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 		n.Hops.RecordDrop(p.Hop)
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+		}
+		if n.met != nil {
+			n.met.drops[p.Hop].Inc()
 		}
 		n.pool.Put(pkt)
 		return
@@ -450,6 +457,9 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 	p.QBytes += int64(pkt.Size)
 	if n.tracer != nil {
 		n.tracer.Packet(trace.Enqueue, pkt.enqAt, p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+	}
+	if n.met != nil {
+		n.met.enqueued.Inc()
 	}
 	size := pkt.Size
 	if p.visDelay <= 0 {
@@ -510,6 +520,9 @@ func (n *Network) txDone(p *Port) {
 	if n.tracer != nil {
 		n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 	}
+	if n.met != nil {
+		n.met.drops[p.Hop].Inc()
+	}
 	n.pool.Put(pkt)
 	n.drainPort(p)
 }
@@ -528,6 +541,9 @@ func (n *Network) drainPort(p *Port) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
+		if n.met != nil {
+			n.met.drops[p.Hop].Inc()
+		}
 		n.pool.Put(pkt)
 	}
 }
@@ -541,6 +557,9 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Deliver, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
 				pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+		}
+		if n.met != nil {
+			n.met.delivered.Inc()
 		}
 		if h.Handler != nil {
 			h.Handler.HandlePacket(h, pkt)
@@ -598,6 +617,9 @@ func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
 		n.Hops.RecordDrop(sw.dropHop)
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Drop, n.Sim.Now(), -1, uint8(sw.dropHop), pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+		}
+		if n.met != nil {
+			n.met.drops[sw.dropHop].Inc()
 		}
 		n.pool.Put(pkt)
 		return

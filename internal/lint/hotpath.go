@@ -20,13 +20,21 @@ import (
 //     the same receiver expression — the nil check IS the disabled fast
 //     path, so an unguarded emission is either a panic (nil tracer) or
 //     evidence the guard was refactored away.
+//
 //  2. Functions marked //drill:hotpath (the per-packet send/enqueue/
 //     dequeue/deliver path) may not allocate via fmt calls, string
 //     concatenation, or implicit interface boxing, preserving the
 //     0-allocs/op benchmarks.
+//
+//  3. Inside //drill:hotpath functions, calls to internal/obs instrument
+//     emission methods (Counter.Inc/Add, Gauge.Set/Add,
+//     Histogram.Observe) must sit behind a nil guard on the receiver or
+//     on a prefix of its selector chain — `if n.met != nil {
+//     n.met.delivered.Inc() }` is the idiom, mirroring the trace rule:
+//     metrics off means no pointer chase, no atomic, nothing.
 var HotPath = &analysis.Analyzer{
 	Name: "hotpath",
-	Doc: "require nil-tracer guards on trace emissions and forbid fmt/string-concat/interface-boxing " +
+	Doc: "require nil guards on trace and obs emissions and forbid fmt/string-concat/interface-boxing " +
 		"allocations in //drill:hotpath functions",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runHotPath,
@@ -46,29 +54,40 @@ func runHotPath(pass *analysis.Pass) (any, error) {
 
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
-	// Check 1: nil-guarded emissions, everywhere but the trace package
-	// itself (Tracer methods call t.Emit on their own receiver).
-	if !isTracePkg(pass.Pkg.Path()) {
-		ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
-			if !push {
-				return false
-			}
-			if isTestFile(pass, stack[0].(*ast.File)) {
-				return false
-			}
-			call := n.(*ast.CallExpr)
-			recv := tracerEmitReceiver(pass, call)
-			if recv == nil {
+	// Check 1: nil-guarded trace emissions, everywhere but the trace
+	// package itself (Tracer methods call t.Emit on their own receiver).
+	// Check 3: nil-guarded obs emissions inside //drill:hotpath functions,
+	// everywhere but the obs package itself (instrument methods update
+	// their own receivers).
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if isTestFile(pass, stack[0].(*ast.File)) {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if !isTracePkg(pass.Pkg.Path()) {
+			if recv := tracerEmitReceiver(pass, call); recv != nil {
+				if !nilGuarded(recv, stack) {
+					sup.Reportf(call.Pos(),
+						"unguarded trace emission: wrap in `if %s != nil { ... }` — the nil check is the zero-overhead disabled path",
+						types.ExprString(recv))
+				}
 				return true
 			}
-			if !nilGuarded(recv, stack) {
-				sup.Reportf(call.Pos(),
-					"unguarded trace emission: wrap in `if %s != nil { ... }` — the nil check is the zero-overhead disabled path",
-					types.ExprString(recv))
+		}
+		if !isObsPkg(pass.Pkg.Path()) && inHotPathFunc(stack) {
+			if recv := obsEmitReceiver(pass, call); recv != nil {
+				if !nilGuardedPrefix(recv, stack) {
+					sup.Reportf(call.Pos(),
+						"unguarded metrics emission on the hot path: wrap in `if %s != nil { ... }` (or guard a selector prefix) — the nil check is the zero-overhead disabled path",
+						types.ExprString(recv))
+				}
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
 
 	// Check 2: allocation bans inside //drill:hotpath functions.
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
@@ -139,6 +158,56 @@ func tracerEmitReceiver(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
 	return sel.X
 }
 
+// obsEmitMethods maps each internal/obs instrument type to its emission
+// methods — the hot-path update entry points whose disabled state is a
+// nil receiver somewhere up the selector chain.
+var obsEmitMethods = map[string]map[string]bool{
+	"Counter":   {"Inc": true, "Add": true},
+	"Gauge":     {"Set": true, "Add": true},
+	"Histogram": {"Observe": true},
+}
+
+// obsEmitReceiver returns the receiver expression of an internal/obs
+// instrument emission call, or nil if the call is something else.
+func obsEmitReceiver(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	fn := typeutil.StaticCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !isObsPkg(named.Obj().Pkg().Path()) {
+		return nil
+	}
+	methods := obsEmitMethods[named.Obj().Name()]
+	if methods == nil || !methods[fn.Name()] {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sel.X
+}
+
+// inHotPathFunc reports whether the innermost enclosing function
+// declaration on the stack carries the //drill:hotpath marker.
+func inHotPathFunc(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return isHotPathFunc(fd)
+		}
+	}
+	return false
+}
+
 // nilGuarded reports whether some enclosing if-statement's then-branch
 // (or else-if chain) contains the innermost node and its condition
 // implies recv != nil under &&-conjunction.
@@ -185,6 +254,57 @@ func condImpliesNonNil(cond ast.Expr, want string) bool {
 func isNilIdent(e ast.Expr) bool {
 	id, ok := e.(*ast.Ident)
 	return ok && id.Name == "nil"
+}
+
+// nilGuardedPrefix is nilGuarded relaxed to selector prefixes: the obs
+// idiom checks the metrics *handle* (`if n.met != nil`) and then touches
+// instrument fields hanging off it (`n.met.delivered.Inc()`,
+// `n.met.drops[h].Inc()`), which EnableMetrics populates together — so a
+// guard on any dotted/indexed prefix of the receiver counts.
+func nilGuardedPrefix(recv ast.Expr, stack []ast.Node) bool {
+	want := types.ExprString(recv)
+	for i := len(stack) - 1; i > 0; i-- {
+		ifst, ok := stack[i-1].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if stack[i] == ast.Node(ifst.Body) && condImpliesPrefixNonNil(ifst.Cond, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// condImpliesPrefixNonNil reports whether cond being true guarantees that
+// some selector prefix of the expression printing as want is non-nil.
+func condImpliesPrefixNonNil(cond ast.Expr, want string) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condImpliesPrefixNonNil(e.X, want)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			return condImpliesPrefixNonNil(e.X, want) || condImpliesPrefixNonNil(e.Y, want)
+		case token.NEQ:
+			if isNilIdent(e.Y) && isSelectorPrefix(types.ExprString(e.X), want) {
+				return true
+			}
+			if isNilIdent(e.X) && isSelectorPrefix(types.ExprString(e.Y), want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSelectorPrefix reports whether guard names expr itself or a prefix of
+// its selector/index chain ("n.met" guards "n.met.delivered" and
+// "n.met.drops[h]", but not "n.metrics").
+func isSelectorPrefix(guard, expr string) bool {
+	if guard == expr {
+		return true
+	}
+	return strings.HasPrefix(expr, guard+".") || strings.HasPrefix(expr, guard+"[")
 }
 
 // checkHotFunc walks a //drill:hotpath function body and reports the

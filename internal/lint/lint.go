@@ -100,3 +100,14 @@ const tracePkgSuffix = "internal/trace"
 func isTracePkg(path string) bool {
 	return path == tracePkgSuffix || strings.HasSuffix(path, "/"+tracePkgSuffix)
 }
+
+// obsPkgSuffix identifies the metrics package (exempt from the
+// obs-emission guard rule for the same reason as trace: instrument
+// methods update their own receivers).
+const obsPkgSuffix = "internal/obs"
+
+// isObsPkg reports whether path is the internal/obs package itself (not
+// its subpackages, which are servers, not instruments).
+func isObsPkg(path string) bool {
+	return path == obsPkgSuffix || strings.HasSuffix(path, "/"+obsPkgSuffix)
+}

@@ -1,0 +1,31 @@
+// Package obs is a fixture stand-in for the real internal/obs: the
+// hotpath analyzer matches the instrument types by package-path suffix
+// and the emission method names, so only the shape matters.
+package obs
+
+// Counter is a monotone metric.
+type Counter struct{ v int64 }
+
+// Inc adds one; an emission method.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n; an emission method.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value reads the counter; not an emission method.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the value; an emission method.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the value; an emission method.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Histogram is a bucketed distribution.
+type Histogram struct{ n int64 }
+
+// Observe records one sample; an emission method.
+func (h *Histogram) Observe(v float64) { h.n++ }

@@ -5,6 +5,7 @@ package hot
 import (
 	"fmt"
 
+	"drill/internal/obs"
 	"drill/internal/trace"
 )
 
@@ -93,3 +94,59 @@ func coldPath(v int) string {
 }
 
 func box(x any) {}
+
+// met mirrors the real per-network Metrics handle: EnableMetrics
+// populates every instrument field together, so guarding the handle
+// guards them all.
+type met struct {
+	delivered *obs.Counter
+	qdepth    *obs.Gauge
+	fct       *obs.Histogram
+	drops     []*obs.Counter
+}
+
+type sw struct {
+	met *met
+}
+
+// deliver is on the per-packet path; obs emissions must be nil-guarded.
+//
+//drill:hotpath
+func (s *sw) deliver(hop int, v float64) {
+	if s.met != nil {
+		s.met.delivered.Inc()   // guarded via the handle prefix
+		s.met.drops[hop].Add(1) // indexed instrument, same prefix guard
+		s.met.qdepth.Set(v)
+		s.met.fct.Observe(v)
+	}
+	if m := s.met; m != nil {
+		m.delivered.Inc() // local alias, same guard
+	}
+	s.met.delivered.Inc() // want `unguarded metrics emission`
+	if v > 0 {
+		s.met.qdepth.Add(v) // want `unguarded metrics emission`
+	}
+	if s.met != nil || v > 0 {
+		s.met.fct.Observe(v) // want `unguarded metrics emission`
+	}
+}
+
+// readback is hot but only reads: non-emission methods need no guard.
+//
+//drill:hotpath
+func (s *sw) readback() int64 {
+	return s.met.delivered.Value()
+}
+
+// coldEmit is unmarked: the obs guard rule binds only //drill:hotpath
+// functions (registration and teardown code may emit unguarded).
+func (s *sw) coldEmit() {
+	s.met.delivered.Inc()
+}
+
+// allowedEmit shows the audited escape hatch.
+//
+//drill:hotpath
+func (s *sw) allowedEmit() {
+	s.met.delivered.Inc() //drill:allow hotpath warm-up emission, runs once before the packet loop
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed distribution: base-2 octaves split into 8
+// linear sub-buckets (3 mantissa bits), the layout HDR-style recorders
+// use. Observe is branch-light bit arithmetic plus three atomic adds —
+// zero allocations — and the integer bucket layout makes merged data
+// exactly associative, so per-cell histograms can be combined across
+// sweep replicas in any order.
+//
+// Accuracy: a finite bucket spans [2^e·(1+s/8), 2^e·(1+(s+1)/8)), so its
+// midpoint representative is off from any member value by at most half
+// the bucket's relative width: 1/16 / (1+(s+0.5)/8) ≤ 1/16 = 6.25%
+// relative error. Quantile estimates inherit that bound (plus the usual
+// half-rank discretization at tiny sample counts); histogram_test.go
+// checks it against exact metrics.Dist on fixed distributions.
+//
+// Range: values in [2^-16, 2^48) ≈ [1.5e-5, 2.8e14) land in finite
+// buckets — queue depths, cwnd bytes, and nanosecond sim durations all
+// fit. Zero, negatives, NaN, and smaller values count in a dedicated
+// underflow bucket (represented as 0); larger ones in an overflow bucket.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	buckets [numBuckets]atomic.Int64
+}
+
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits // linear sub-buckets per octave
+	histMinExp   = -16
+	histMaxExp   = 47
+	numOctaves   = histMaxExp - histMinExp + 1
+	numBuckets   = numOctaves*histSubCount + 2 // + underflow, + overflow
+
+	underflowBucket = 0
+	overflowBucket  = numBuckets - 1
+)
+
+// bucketIndex maps a value to its bucket. Zero, negative, NaN, and
+// subnormal-small values underflow (their IEEE exponent is below
+// histMinExp); +Inf and huge values overflow.
+//
+//drill:hotpath
+func bucketIndex(v float64) int {
+	bits := math.Float64bits(v)
+	if bits == 0 || bits>>63 != 0 || v != v { // +0, negative (incl. -0), NaN
+		return underflowBucket
+	}
+	exp := int(bits>>52&0x7ff) - 1023
+	if exp < histMinExp {
+		return underflowBucket
+	}
+	if exp > histMaxExp {
+		return overflowBucket
+	}
+	sub := int(bits >> (52 - histSubBits) & (histSubCount - 1))
+	return 1 + (exp-histMinExp)*histSubCount + sub
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i:
+// 0 has bound 2^histMinExp, the overflow bucket +Inf.
+func BucketUpper(i int) float64 {
+	if i <= underflowBucket {
+		return math.Ldexp(1, histMinExp)
+	}
+	if i >= overflowBucket {
+		return math.Inf(1)
+	}
+	o, s := (i-1)/histSubCount+histMinExp, (i-1)%histSubCount
+	return math.Ldexp(1+float64(s+1)/histSubCount, o)
+}
+
+// BucketRep returns the representative value reported for bucket i: the
+// bucket midpoint for finite buckets, 0 for underflow (exact for the
+// common zero observation), and the overflow bucket's lower bound.
+func BucketRep(i int) float64 {
+	if i <= underflowBucket {
+		return 0
+	}
+	if i >= overflowBucket {
+		return math.Ldexp(1, histMaxExp+1)
+	}
+	o, s := (i-1)/histSubCount+histMinExp, (i-1)%histSubCount
+	return math.Ldexp(1+(float64(s)+0.5)/histSubCount, o)
+}
+
+// Observe records one value.
+//
+//drill:hotpath
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCount is one occupied bucket in a HistogramData snapshot.
+type BucketCount struct {
+	Index int   `json:"i"`
+	Count int64 `json:"n"`
+}
+
+// HistogramData is an immutable, sparse snapshot of a Histogram: only
+// occupied buckets are retained, sorted by index.
+type HistogramData struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Data snapshots the histogram. Buckets emptied concurrently with the
+// copy may read slightly staler than count/sum; within the simulator's
+// single writer thread the copy is exact.
+func (h *Histogram) Data() *HistogramData {
+	d := &HistogramData{Count: h.count.Load(), Sum: h.Sum()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			d.Buckets = append(d.Buckets, BucketCount{Index: i, Count: n})
+		}
+	}
+	return d
+}
+
+// Merge returns the combination of d and o as a new snapshot; neither
+// input is modified. Bucket counts are integers, so merging is exactly
+// associative and commutative (the float Sum is associative up to
+// rounding).
+func (d *HistogramData) Merge(o *HistogramData) *HistogramData {
+	if o == nil {
+		o = &HistogramData{}
+	}
+	out := &HistogramData{Count: d.Count + o.Count, Sum: d.Sum + o.Sum}
+	i, j := 0, 0
+	for i < len(d.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(d.Buckets) && d.Buckets[i].Index < o.Buckets[j].Index):
+			out.Buckets = append(out.Buckets, d.Buckets[i])
+			i++
+		case i >= len(d.Buckets) || o.Buckets[j].Index < d.Buckets[i].Index:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, BucketCount{
+				Index: d.Buckets[i].Index,
+				Count: d.Buckets[i].Count + o.Buckets[j].Count,
+			})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the representative of
+// the bucket holding the ceil(q·count)-th observation. Empty data returns
+// 0; q outside [0,1] is clamped.
+func (d *HistogramData) Quantile(q float64) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(d.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range d.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return BucketRep(b.Index)
+		}
+	}
+	return BucketRep(overflowBucket)
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (d *HistogramData) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}

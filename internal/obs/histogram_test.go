@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"drill/internal/metrics"
+)
+
+// The histogram's documented accuracy contract: every finite bucket's
+// midpoint representative is within 1/16 (6.25%) relative error of any
+// value in the bucket. Quantile estimates add rank discretization on top
+// (the estimator returns the ceil(q·n)-th order statistic's bucket, the
+// exact baseline may round the rank differently), so the tests allow 10%
+// — comfortably above 6.25% plus adjacent-order-statistic jitter, and
+// tight enough that an off-by-one in the bucket math fails immediately.
+const quantileRelTol = 0.10
+
+func quantileCase(t *testing.T, name string, samples []float64) {
+	t.Helper()
+	var h Histogram
+	var exact metrics.Dist
+	for _, v := range samples {
+		h.Observe(v)
+		exact.Add(v)
+	}
+	d := h.Data()
+	if d.Count != int64(len(samples)) {
+		t.Fatalf("%s: count = %d, want %d", name, d.Count, len(samples))
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		got := d.Quantile(q)
+		want := exact.Percentile(q * 100)
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s p%g: got %g, want 0", name, q*100, got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > quantileRelTol {
+			t.Errorf("%s p%g: hist %g vs exact %g (rel err %.3f > %.3f)",
+				name, q*100, got, want, rel, quantileRelTol)
+		}
+	}
+	// Mean is exact up to float rounding: the sum is carried, not bucketed.
+	if want := exact.Mean(); math.Abs(d.Mean()-want) > 1e-9*math.Abs(want) {
+		t.Errorf("%s: mean %g, want %g", name, d.Mean(), want)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = 10 + 990*rng.Float64() // uniform on [10, 1000)
+	}
+	quantileCase(t, "uniform", samples)
+}
+
+func TestQuantileExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = 50e3 * rng.ExpFloat64() // mean 50µs in ns, heavy tail
+	}
+	quantileCase(t, "exponential", samples)
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// Mice-and-elephants: 70% short FCTs near 100, 30% long near 1e6,
+	// each mode jittered ±5% so multiple buckets per mode are occupied.
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		mode := 100.0
+		if rng.Float64() < 0.3 {
+			mode = 1e6
+		}
+		samples[i] = mode * (0.95 + 0.1*rng.Float64())
+	}
+	quantileCase(t, "bimodal", samples)
+}
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	// Every representative must land back in its own bucket, and bucket
+	// bounds must tile the finite range without gaps.
+	for i := 1; i < overflowBucket; i++ {
+		rep := BucketRep(i)
+		if got := bucketIndex(rep); got != i {
+			t.Fatalf("bucket %d: representative %g maps to bucket %d", i, rep, got)
+		}
+		if upper := BucketUpper(i); bucketIndex(upper) != i+1 {
+			t.Fatalf("bucket %d: upper bound %g not the next bucket's floor", i, upper)
+		}
+	}
+	for _, v := range []float64{0, -1, math.NaN(), 1e-30} {
+		if got := bucketIndex(v); got != underflowBucket {
+			t.Fatalf("bucketIndex(%v) = %d, want underflow", v, got)
+		}
+	}
+	if got := bucketIndex(math.Inf(1)); got != overflowBucket {
+		t.Fatalf("bucketIndex(+Inf) = %d, want overflow", got)
+	}
+	if got := bucketIndex(1e15); got != overflowBucket {
+		t.Fatalf("bucketIndex(1e15) = %d, want overflow", got)
+	}
+}
+
+func TestBucketRelativeErrorBound(t *testing.T) {
+	// Sweep values across the finite range and confirm the representative
+	// of each value's bucket is within the documented 6.25% bound.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		v := math.Ldexp(1+rng.Float64(), histMinExp+rng.Intn(numOctaves))
+		if bucketIndex(v) == overflowBucket { // 2·2^maxExp rolls over
+			continue
+		}
+		rep := BucketRep(bucketIndex(v))
+		if rel := math.Abs(rep-v) / v; rel > 1.0/16 {
+			t.Fatalf("value %g: representative %g off by %.4f > 1/16", v, rep, rel)
+		}
+	}
+}
+
+// randomHistData builds a snapshot from a random workload chunk.
+func randomHistData(rng *rand.Rand, n int) *HistogramData {
+	var h Histogram
+	for i := 0; i < n; i++ {
+		h.Observe(math.Ldexp(1+rng.Float64(), rng.Intn(40)-10))
+	}
+	return h.Data()
+}
+
+// TestMergeAssociativity is the property test: merging integer bucket
+// counts is exactly associative and commutative regardless of chunk
+// order, so sweep replicas can be combined in any reduction tree.
+func TestMergeAssociativity(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomHistData(rng, 1+rng.Intn(2000))
+		b := randomHistData(rng, 1+rng.Intn(2000))
+		c := randomHistData(rng, 1+rng.Intn(2000))
+
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		swapped := c.Merge(a).Merge(b)
+
+		for _, pair := range []struct {
+			name string
+			got  *HistogramData
+		}{{"right-assoc", right}, {"commuted", swapped}} {
+			if pair.got.Count != left.Count {
+				t.Fatalf("seed %d %s: count %d vs %d", seed, pair.name, pair.got.Count, left.Count)
+			}
+			if len(pair.got.Buckets) != len(left.Buckets) {
+				t.Fatalf("seed %d %s: %d buckets vs %d", seed, pair.name, len(pair.got.Buckets), len(left.Buckets))
+			}
+			for i := range left.Buckets {
+				if pair.got.Buckets[i] != left.Buckets[i] {
+					t.Fatalf("seed %d %s: bucket %d = %+v vs %+v",
+						seed, pair.name, i, pair.got.Buckets[i], left.Buckets[i])
+				}
+			}
+			// The float sum is associative only up to rounding.
+			if diff := math.Abs(pair.got.Sum - left.Sum); diff > 1e-6*math.Abs(left.Sum) {
+				t.Fatalf("seed %d %s: sum %g vs %g", seed, pair.name, pair.got.Sum, left.Sum)
+			}
+		}
+		// Quantiles of the merged data equal quantiles of the one-shot
+		// histogram over the union (merge loses nothing buckets had).
+		if q1, q2 := left.Quantile(0.9), right.Quantile(0.9); q1 != q2 {
+			t.Fatalf("seed %d: merged p90 differs: %g vs %g", seed, q1, q2)
+		}
+	}
+	// Merging with empty/nil is the identity.
+	rng := rand.New(rand.NewSource(99))
+	a := randomHistData(rng, 500)
+	for _, got := range []*HistogramData{a.Merge(&HistogramData{}), a.Merge(nil)} {
+		if got.Count != a.Count || len(got.Buckets) != len(a.Buckets) {
+			t.Fatal("merge with empty is not the identity")
+		}
+	}
+}

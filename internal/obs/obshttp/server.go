@@ -1,0 +1,104 @@
+// Package obshttp serves obs registry snapshots over HTTP: Prometheus
+// text exposition at /metrics, the same snapshot as JSON at
+// /metrics.json, and the retained snapshot ring at /snapshots.json. It
+// lives outside the simulation packages on purpose — the simulator never
+// imports it, drillvet's wall-clock and nondeterminism analyzers don't
+// apply to it, and a scrape can never reach back into a run: handlers
+// read only immutable published snapshots (or an atomic live capture
+// before the first publication).
+package obshttp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"drill/internal/obs"
+)
+
+// Handler returns an http.Handler exposing reg.
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	latest := func() *obs.Snapshot {
+		if s := reg.Latest(); s != nil {
+			return s
+		}
+		// Before the first sim-time snapshot (or with no snapshotter at
+		// all), serve a live capture so scrapes always see the registry.
+		return reg.Capture(0)
+	}
+	// Responses are rendered into a buffer before any byte hits the wire:
+	// snapshots are small, an encoding error still gets a clean 500, and a
+	// scraper hanging up mid-body cannot provoke a half-written exposition
+	// (or the superfluous-WriteHeader log noise that comes with one).
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf, latest()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := obs.WriteJSON(&buf, latest()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/snapshots.json", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		buf.WriteByte('[')
+		for i, s := range reg.Ring() {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := obs.WriteJSON(&buf, s); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		buf.WriteByte(']')
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a live metrics endpoint bound to a TCP address.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "localhost:9137"; ":0" picks a free port) and
+// serves the registry in a background goroutine until Close.
+func Serve(addr string, reg *obs.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the served base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

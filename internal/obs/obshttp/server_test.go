@@ -1,0 +1,95 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"drill/internal/obs"
+	"drill/internal/units"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerServesSnapshots(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	c := reg.Counter("drill_cells_done_total", `exp="fig6a"`, "Cells completed.")
+	h := reg.Histogram("drill_fct_us", "", "Flow completion times.")
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Before any publication /metrics serves a live capture.
+	code, body := scrape(t, srv.URL()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "drill_cells_done_total") {
+		t.Fatalf("pre-snapshot scrape: code %d body:\n%s", code, body)
+	}
+
+	c.Add(3)
+	h.Observe(120)
+	h.Observe(4500)
+	reg.Snapshot(250 * units.Microsecond)
+
+	code, body = scrape(t, srv.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("scrape code %d", code)
+	}
+	for _, want := range []string{
+		"drill_snapshot_seq 1",
+		"drill_snapshot_sim_time_seconds 0.00025",
+		`drill_cells_done_total{exp="fig6a"} 3`,
+		"# TYPE drill_fct_us histogram",
+		`drill_fct_us_bucket{le="+Inf"} 2`,
+		"drill_fct_us_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, body)
+		}
+	}
+
+	code, body = scrape(t, srv.URL()+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("json scrape code %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v\n%s", err, body)
+	}
+	if doc["sim_time_ns"].(float64) != 250000 {
+		t.Fatalf("json sim_time_ns = %v", doc["sim_time_ns"])
+	}
+
+	reg.Snapshot(500 * units.Microsecond)
+	code, body = scrape(t, srv.URL()+"/snapshots.json")
+	if code != http.StatusOK {
+		t.Fatalf("ring scrape code %d", code)
+	}
+	var ring []map[string]any
+	if err := json.Unmarshal([]byte(body), &ring); err != nil {
+		t.Fatalf("/snapshots.json invalid: %v\n%s", err, body)
+	}
+	if len(ring) != 2 {
+		t.Fatalf("ring has %d snapshots, want 2", len(ring))
+	}
+
+	if code, body = scrape(t, srv.URL()+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Provenance makes committed results self-describing: every experiment
+// output and BENCH_*.json gains a manifest naming the exact binary, git
+// revision, seed, and configuration that produced it, so a number in the
+// repo can always be traced back to a reproducible run. Build identity
+// comes from runtime/debug.ReadBuildInfo, which the Go linker stamps with
+// VCS metadata when building from a git checkout; `go test` binaries and
+// dirty trees degrade gracefully to empty/flagged fields.
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	Main        string `json:"main,omitempty"`        // main module path
+	Revision    string `json:"revision,omitempty"`    // vcs.revision
+	CommitTime  string `json:"commit_time,omitempty"` // vcs.time
+	Modified    bool   `json:"dirty,omitempty"`       // vcs.modified
+	BuildGoFlag string `json:"gcflags_etc,omitempty"` // -gcflags/-ldflags if stamped
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity, computed once per process.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Main = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.CommitTime = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			case "-gcflags", "-ldflags":
+				if buildInfo.BuildGoFlag != "" {
+					buildInfo.BuildGoFlag += " "
+				}
+				buildInfo.BuildGoFlag += s.Key + "=" + s.Value
+			}
+		}
+	})
+	return buildInfo
+}
+
+// ConfigHash returns sha256 over the canonical JSON encoding of cfg,
+// hex-encoded and truncated to 16 bytes' worth. Two runs share a hash iff
+// their JSON-visible configuration is identical, which is what makes the
+// manifest usable as a dedup/repro key.
+func ConfigHash(cfg any) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Configs are plain structs; marshal only fails on exotic types.
+		// A degraded hash still distinguishes "unhashable" from real ones.
+		return "unhashable:" + err.Error()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// CellSummary is the per-cell slice of a manifest: enough to sanity-check
+// which cell produced which headline numbers without re-reading the full
+// report.
+type CellSummary struct {
+	Exp    string  `json:"exp,omitempty"`
+	Cell   string  `json:"cell,omitempty"`
+	Scheme string  `json:"scheme,omitempty"`
+	Seed   int64   `json:"seed"`
+	Load   float64 `json:"load,omitempty"`
+
+	ConfigHash string `json:"config_hash"`
+
+	Events      uint64  `json:"events"`
+	Flows       int64   `json:"flows"`
+	Drops       int64   `json:"drops"`
+	Retransmits int64   `json:"retransmits"`
+	Timeouts    int64   `json:"timeouts"`
+	OutOfOrder  int64   `json:"out_of_order"`
+	FCTMeanUs   float64 `json:"fct_mean_us,omitempty"`
+	FCTP99Us    float64 `json:"fct_p99_us,omitempty"`
+	WallNs      int64   `json:"wall_ns,omitempty"`
+}
+
+// Manifest is the provenance document written next to experiment output.
+type Manifest struct {
+	Schema    string        `json:"schema"`
+	Build     BuildInfo     `json:"build"`
+	Command   string        `json:"command,omitempty"`
+	StartedAt string        `json:"started_at,omitempty"` // RFC3339 wall time, set by the caller
+	Seed      int64         `json:"seed"`
+	Cells     []CellSummary `json:"cells,omitempty"`
+}
+
+// ManifestSchemaVersion identifies the manifest layout.
+const ManifestSchemaVersion = "drill-manifest/v1"
+
+// NewManifest starts a manifest for a run rooted at seed.
+func NewManifest(command string, seed int64) *Manifest {
+	return &Manifest{Schema: ManifestSchemaVersion, Build: Build(), Command: command, Seed: seed}
+}
+
+// Add appends a cell summary; safe to call from serialized done callbacks.
+func (m *Manifest) Add(c CellSummary) { m.Cells = append(m.Cells, c) }
+
+// Write renders the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// String renders the manifest for error messages and logs.
+func (m *Manifest) String() string {
+	return fmt.Sprintf("manifest(seed=%d rev=%.12s cells=%d)", m.Seed, m.Build.Revision, len(m.Cells))
+}

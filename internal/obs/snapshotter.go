@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"drill/internal/sim"
+	"drill/internal/units"
+)
+
+// Snapshotter periodically publishes registry snapshots on simulated
+// time. It rides on sim.NewObserverTicker, so its events neither keep the
+// simulation alive nor count toward Executed: a run with a snapshotter
+// attached reports the same event totals — and the same every-other-byte
+// results — as one without. That is the observe-never-steer contract; the
+// refresh hooks it invokes before each capture must honor it too (pure
+// reads of simulation state into gauges, nothing more).
+type Snapshotter struct {
+	reg     *Registry
+	ticker  *sim.Ticker
+	refresh []func(now units.Time)
+}
+
+// StartSnapshotter publishes a snapshot of reg every interval of
+// simulated time. Before each capture it runs the refresh hooks in order,
+// letting sampled gauges (per-port queue depth, link utilization) pull
+// fresh values out of the data plane. The first snapshot fires one
+// interval in; Stop cancels future ones.
+func StartSnapshotter(s *sim.Sim, reg *Registry, every units.Time, refresh ...func(now units.Time)) *Snapshotter {
+	sn := &Snapshotter{reg: reg, refresh: refresh}
+	sn.ticker = sim.NewObserverTicker(s, every, sn.capture)
+	return sn
+}
+
+func (sn *Snapshotter) capture(now units.Time) {
+	for _, fn := range sn.refresh {
+		fn(now)
+	}
+	sn.reg.Snapshot(now)
+}
+
+// Final publishes one last snapshot at the given time, outside the ticker
+// cadence, running the same refresh hooks first. Runs call it after the
+// drain phase so the terminal state is visible even if the run ended
+// mid-interval.
+func (sn *Snapshotter) Final(now units.Time) *Snapshot {
+	for _, fn := range sn.refresh {
+		fn(now)
+	}
+	return sn.reg.Snapshot(now)
+}
+
+// Stop cancels future snapshots.
+func (sn *Snapshotter) Stop() { sn.ticker.Stop() }

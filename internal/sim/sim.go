@@ -19,6 +19,7 @@ type event struct {
 	fn     func()
 	timer  *Timer // non-nil when a Timer owns this entry (index-tracked)
 	daemon bool
+	silent bool // observer event: excluded from Executed accounting
 }
 
 // Sim is a single-threaded discrete-event simulator. It is not safe for
@@ -85,6 +86,22 @@ func (s *Sim) AfterDaemon(d units.Time, fn func()) {
 	s.push(event{at: t, seq: s.seq, fn: fn, daemon: true})
 }
 
+// AfterObserver schedules fn like AfterDaemon, but additionally excludes
+// the dispatch from Executed accounting. Observer events exist for the
+// metrics snapshotter and similar pure-read instrumentation: they may look
+// at simulation state but never mutate it, so leaving them out of the
+// event count is what keeps a metrics-enabled run byte-identical (same
+// RunResult.Events, same fingerprints) to a metrics-free one.
+func (s *Sim) AfterObserver(d units.Time, fn func()) {
+	t := s.now + d
+	if t < s.now {
+		panic("sim: observer event scheduled in the past")
+	}
+	s.seq++
+	s.daemons++
+	s.push(event{at: t, seq: s.seq, fn: fn, daemon: true, silent: true})
+}
+
 // Halt stops the run loop after the currently executing event returns. A
 // halt only affects the run in progress: the next call to Run or RunUntil
 // clears it and resumes dispatching from the current simulation state.
@@ -127,7 +144,9 @@ func (s *Sim) step() {
 		s.daemons--
 	}
 	s.now = ev.at
-	s.Executed++
+	if !ev.silent {
+		s.Executed++
+	}
 	ev.fn()
 }
 
@@ -313,6 +332,7 @@ type Ticker struct {
 	s        *Sim
 	interval units.Time
 	stop     bool
+	silent   bool
 	fn       func(now units.Time)
 }
 
@@ -327,6 +347,20 @@ func NewTicker(s *Sim, interval units.Time, fn func(now units.Time)) *Ticker {
 	return t
 }
 
+// NewObserverTicker is NewTicker over observer events: ticks never keep the
+// simulation alive and never count toward Executed. fn must only read
+// simulation state (the observe-never-steer contract); a callback that
+// mutated data-plane state or drew from a random stream would break the
+// byte-identical guarantee this event class exists to preserve.
+func NewObserverTicker(s *Sim, interval units.Time, fn func(now units.Time)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{s: s, interval: interval, fn: fn, silent: true}
+	s.AfterObserver(interval, t.tick)
+	return t
+}
+
 // Stop cancels future ticks.
 func (t *Ticker) Stop() { t.stop = true }
 
@@ -335,5 +369,9 @@ func (t *Ticker) tick() {
 		return
 	}
 	t.fn(t.s.Now())
-	t.s.AfterDaemon(t.interval, t.tick)
+	if t.silent {
+		t.s.AfterObserver(t.interval, t.tick)
+	} else {
+		t.s.AfterDaemon(t.interval, t.tick)
+	}
 }

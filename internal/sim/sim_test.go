@@ -423,3 +423,64 @@ func BenchmarkScheduler(b *testing.B) {
 	s.At(0, next)
 	s.Run()
 }
+
+func TestObserverEventsInvisibleToAccounting(t *testing.T) {
+	// The same workload with and without an observer ticker must report the
+	// same Executed count: observer dispatches are excluded, which is what
+	// lets a metrics-enabled run stay byte-identical to a metrics-free one.
+	run := func(observe bool) (executed uint64, ticks int) {
+		s := New(7)
+		if observe {
+			NewObserverTicker(s, 3, func(units.Time) { ticks++ })
+		}
+		var next func()
+		i := 0
+		next = func() {
+			if i++; i < 50 {
+				s.After(2, next)
+			}
+		}
+		s.At(0, next)
+		s.RunUntil(120)
+		return s.Executed, ticks
+	}
+	plain, _ := run(false)
+	observed, ticks := run(true)
+	if plain != observed {
+		t.Fatalf("Executed with observer ticker = %d, without = %d; observer events must not count", observed, plain)
+	}
+	if want := 120 / 3; ticks != want {
+		t.Fatalf("observer ticks = %d, want %d", ticks, want)
+	}
+}
+
+func TestObserverEventsDoNotBlockDrain(t *testing.T) {
+	s := New(1)
+	NewObserverTicker(s, 5, func(units.Time) {})
+	done := false
+	s.After(12, func() { done = true })
+	s.Run() // must return once only observer ticks remain
+	if !done {
+		t.Fatal("real event did not run")
+	}
+	if s.Now() != 12 {
+		t.Fatalf("drained at t=%v, want 12 (observer ticks alone must not keep Run alive)", s.Now())
+	}
+}
+
+func TestObserverTickerStop(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	var tk *Ticker
+	tk = NewObserverTicker(s, 2, func(now units.Time) {
+		ticks++
+		if now >= 6 {
+			tk.Stop()
+		}
+	})
+	s.After(40, func() {})
+	s.Run()
+	if ticks != 3 {
+		t.Fatalf("ticks after Stop = %d, want 3", ticks)
+	}
+}

@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"drill/internal/obs"
+)
+
+// Metrics is the transport layer's slice of the obs registry: the health
+// counters FCT sweeps report (retransmits, RTO fires, wire reordering)
+// plus two distributions the aggregate Stats cannot carry — congestion
+// window per ACK and out-of-order buffer depth per inversion. Nil by
+// default; every hot-path site guards on the pointer, mirroring the
+// tracer discipline, so disabled metrics cost one branch per site.
+type Metrics struct {
+	retransmits *obs.Counter
+	timeouts    *obs.Counter
+	outOfOrder  *obs.Counter
+	flowsDone   *obs.Counter
+	cwnd        *obs.Histogram // segments, observed on every processed ACK
+	oooDepth    *obs.Histogram // sacked spans buffered when an inversion arrives
+	fct         *obs.Histogram // measured flow completion times, microseconds
+}
+
+// EnableMetrics registers the transport metric families in reg under the
+// given label scope and turns on hot-path emission. Call once per
+// Registry, before flows start.
+func (r *Registry) EnableMetrics(reg *obs.Registry, scope string) *Metrics {
+	m := &Metrics{
+		retransmits: reg.Counter("drill_transport_retransmits_total", scope,
+			"Segments retransmitted (fast retransmit and RTO)."),
+		timeouts: reg.Counter("drill_transport_timeouts_total", scope,
+			"Retransmission timeouts fired."),
+		outOfOrder: reg.Counter("drill_transport_out_of_order_total", scope,
+			"Data packets that arrived out of emission order."),
+		flowsDone: reg.Counter("drill_transport_flows_finished_total", scope,
+			"Flows completed."),
+		cwnd: reg.Histogram("drill_transport_cwnd_segments", scope,
+			"Congestion window in segments, sampled on every processed ACK."),
+		oooDepth: reg.Histogram("drill_transport_ooo_depth_spans", scope,
+			"Out-of-order buffer depth (sacked spans) when an inversion arrives."),
+		fct: reg.Histogram("drill_transport_fct_us", scope,
+			"Flow completion time in microseconds, measured flows only."),
+	}
+	r.met = m
+	return m
+}
+
+// Metrics returns the attached transport metrics, nil when disabled.
+func (r *Registry) Metrics() *Metrics { return r.met }

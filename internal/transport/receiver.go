@@ -88,8 +88,13 @@ func (r *Receiver) onData(pkt *fabric.Packet) {
 	r.lastECN = pkt.ECNCE
 	if pkt.TxSeq < r.txMax {
 		r.inversions++
+		r.agent.reg.Stats.OutOfOrder++
 		if tr := r.agent.reg.tracer; tr != nil {
 			tr.Flow(trace.OutOfOrder, r.agent.reg.Sim.Now(), pkt.FlowID, pkt.Seq, float64(r.txMax-pkt.TxSeq))
+		}
+		if m := r.agent.reg.met; m != nil {
+			m.outOfOrder.Inc()
+			m.oooDepth.Observe(float64(len(r.sacked)))
 		}
 		// Blame the hop where the late packet waited longest relative to
 		// the packet it arrived behind.

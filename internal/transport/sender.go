@@ -151,6 +151,9 @@ func (s *Sender) onAck(pkt *fabric.Packet) {
 	case ack == s.sndUna && s.sndNxt > s.sndUna:
 		s.dupAck()
 	}
+	if m := s.reg.met; m != nil {
+		m.cwnd.Observe(s.cwnd)
+	}
 	s.trySend()
 	if s.size >= 0 && s.sndUna >= s.size {
 		s.finish(now)
@@ -223,6 +226,9 @@ func (s *Sender) retransmit() {
 	if tr := s.reg.tracer; tr != nil {
 		tr.Flow(trace.Retransmit, s.reg.Sim.Now(), s.id, s.sndUna, float64(l))
 	}
+	if m := s.reg.met; m != nil {
+		m.retransmits.Inc()
+	}
 	s.emit(s.sndUna, l)
 	s.armTimer()
 }
@@ -273,6 +279,9 @@ func (s *Sender) onTimeout() {
 	s.reg.Stats.Timeouts++
 	if tr := s.reg.tracer; tr != nil {
 		tr.Flow(trace.Timeout, s.reg.Sim.Now(), s.id, s.sndUna, float64(s.backoff))
+	}
+	if m := s.reg.met; m != nil {
+		m.timeouts.Inc()
 	}
 	s.ssthresh = maxf(float64(s.inflightSegs())/2, 2)
 	s.cwnd = 1
@@ -331,11 +340,17 @@ func (s *Sender) finish(now units.Time) {
 	s.rtoTimer.Stop() // remove the pending RTO from the sim heap eagerly
 	s.fct = now - s.start
 	s.reg.Stats.FlowsFinished++
+	if m := s.reg.met; m != nil {
+		m.flowsDone.Inc()
+	}
 	if s.measured {
 		ms := s.fct.Millis()
 		s.reg.Stats.FCT.Add(ms)
 		if s.class != "" {
 			s.reg.Stats.ClassDist(s.class).Add(ms)
+		}
+		if m := s.reg.met; m != nil {
+			m.fct.Observe(s.fct.Micros())
 		}
 	}
 	delete(s.agent.senders, s.id)

@@ -110,6 +110,12 @@ type Stats struct {
 	Timeouts      int64
 	FlowsStarted  int64
 	FlowsFinished int64
+
+	// OutOfOrder counts data packets that arrived below the highest
+	// emission counter seen — the per-arrival total behind the per-flow
+	// WireReorders histogram, and the transport-health number FCT sweep
+	// reports surface.
+	OutOfOrder int64
 }
 
 // ClassDist returns (creating if needed) the FCT distribution for a class.
@@ -135,6 +141,7 @@ type Registry struct {
 	agents   map[topo.NodeID]*Agent
 	nextFlow uint64
 	tracer   *trace.Tracer // the network's tracer, nil when tracing is off
+	met      *Metrics      // obs emission, nil when metrics are off
 
 	// MeasureFrom: flows started before this time are warm-up and excluded
 	// from Stats (they still load the network).
