@@ -1,14 +1,17 @@
 // Command benchdiff compares two BENCH_*.json performance snapshots and
 // reports per-cell deltas against the regression tolerances (events/s
-// within 25%, allocs/event within +0.5, micro allocs within +0.5).
+// within 10%, allocs/event within +0.1, micro allocs within +0.1).
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline.json -current BENCH_new.json [-json diff.json] [-strict]
+//	benchdiff -baseline BENCH_wheel.json -current BENCH_new.json [-json diff.json] [-md summary.md] [-strict]
 //
-// The exit status is 0 even when regressions are found, so callers can
-// treat the diff as advisory; -strict exits 1 on any regression, which is
-// how CI turns the step red while continue-on-error keeps it warn-only.
+// Without -strict the exit status is 0 even when regressions are found,
+// so callers can treat the diff as advisory; -strict exits 1 on any
+// regression, which is how the blocking bench-regress CI job turns the
+// build red. -md appends the diff as a markdown table to the given file
+// (pass $GITHUB_STEP_SUMMARY in CI). Snapshots from machines with
+// different CPU counts are compared anyway, with a warning row.
 package main
 
 import (
@@ -25,6 +28,7 @@ func main() {
 		baseline = flag.String("baseline", "BENCH_baseline.json", "baseline snapshot to compare against")
 		current  = flag.String("current", "", "fresh drillbench snapshot to judge")
 		jsonOut  = flag.String("json", "", "also write the diff as JSON to this file")
+		mdOut    = flag.String("md", "", "append the diff as a markdown table to this file")
 		strict   = flag.Bool("strict", false, "exit 1 when any tolerance is exceeded")
 	)
 	flag.Parse()
@@ -57,6 +61,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *mdOut != "" {
+		f, err := os.OpenFile(*mdOut, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := f.WriteString(d.FormatMarkdown()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	if *strict && d.Regressions > 0 {
 		os.Exit(1)

@@ -97,8 +97,14 @@ type BenchReport struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	Seed      int64  `json:"seed"`
+	// NumCPU is runtime.NumCPU() and GoMaxProcs runtime.GOMAXPROCS(0).
+	// Both are recorded because CI containers routinely pin GOMAXPROCS
+	// below the host's core count (cgroup quota), and either one alone
+	// misstates the machine the wall-clock rates came from. benchdiff
+	// warns — never fails — when they differ between snapshots.
+	NumCPU     int   `json:"num_cpu"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Seed       int64 `json:"seed"`
 
 	Cells []BenchCellResult `json:"cells"`
 	Micro MicroAllocs       `json:"micro"`
@@ -167,12 +173,13 @@ func RunBenchCell(c BenchCell) BenchCellResult {
 // RunBench executes every canonical cell plus the micro measurements.
 func RunBench(seed int64, progress func(format string, args ...any)) BenchReport {
 	rep := BenchReport{
-		Schema:    BenchSchemaVersion,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Seed:      seed,
+		Schema:     BenchSchemaVersion,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
 	}
 	rep.Provenance = obs.NewManifest("drillbench", seed)
 	for _, c := range BenchCells(seed) {

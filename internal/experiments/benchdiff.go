@@ -9,19 +9,22 @@ import (
 
 // Bench regression guard: DiffBench compares a fresh BenchReport against
 // the committed baseline with tolerances wide enough to absorb runner
-// noise but tight enough to catch a real hot-path regression. It is
-// warn-only by design — CI surfaces the diff as an artifact and a red
-// step that does not gate the build, because wall-clock rates depend on
-// the machine that produced each snapshot.
+// noise but tight enough to catch a real hot-path regression. CI runs it
+// with -strict as a blocking gate: a regression turns the build red.
+// Wall-clock rates still depend on the machine that produced each
+// snapshot, so the diff reports — as warnings, never failures — when the
+// two snapshots disagree on CPU count or GOMAXPROCS.
 
 const (
 	// BenchEvRateTol is the relative events/s slowdown tolerated before a
-	// cell is flagged (25%: same-hardware noise stays well under this).
-	BenchEvRateTol = 0.25
+	// cell is flagged (10%: same-hardware noise on the multi-second cells
+	// stays in the low single digits).
+	BenchEvRateTol = 0.10
 	// BenchAllocsTol is the absolute allocs/event increase tolerated
-	// (+0.5: half an allocation per event is a structural change, not
-	// jitter — the deterministic event counts make this column stable).
-	BenchAllocsTol = 0.5
+	// (+0.1: the steady state is ~0.02 allocs/event, so a tenth of an
+	// allocation per event is a structural change, not jitter — the
+	// deterministic event counts make this column stable).
+	BenchAllocsTol = 0.1
 )
 
 // BenchFinding is one compared metric of one cell.
@@ -54,6 +57,16 @@ func DiffBench(baseline, current *BenchReport) *BenchDiff {
 			d.Regressions++
 		}
 		d.Findings = append(d.Findings, f)
+	}
+
+	// Machine mismatch is a warning, not a regression: the events/s
+	// columns are only meaningful between snapshots from comparable
+	// hardware, and CI containers often differ from the baseline machine.
+	if baseline.NumCPU != current.NumCPU || baseline.GoMaxProcs != current.GoMaxProcs {
+		add(BenchFinding{Cell: "machine", Metric: "cpus",
+			Baseline: float64(baseline.NumCPU), Current: float64(current.NumCPU),
+			Note: fmt.Sprintf("snapshots from different machines (num_cpu %d/gomaxprocs %d vs %d/%d): events/s deltas are advisory",
+				baseline.NumCPU, baseline.GoMaxProcs, current.NumCPU, current.GoMaxProcs)})
 	}
 
 	cur := make(map[string]BenchCellResult, len(current.Cells))
@@ -139,6 +152,38 @@ func (d *BenchDiff) Format() string {
 			BenchEvRateTol*100, BenchAllocsTol)
 	} else {
 		fmt.Fprintf(&b, "verdict: %d regression(s) (events/s tol ±%.0f%%, allocs/event tol +%.1f)\n",
+			d.Regressions, BenchEvRateTol*100, BenchAllocsTol)
+	}
+	return b.String()
+}
+
+// FormatMarkdown renders the diff as a GitHub-flavored markdown table,
+// the shape CI appends to $GITHUB_STEP_SUMMARY.
+func (d *BenchDiff) FormatMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench diff (baseline seed %d, current seed %d)\n\n", d.BaselineSeed, d.CurrentSeed)
+	b.WriteString("| cell | metric | baseline | current | delta | verdict |\n")
+	b.WriteString("|------|--------|---------:|--------:|------:|---------|\n")
+	for _, f := range d.Findings {
+		verdict := "ok"
+		if f.Regressed {
+			verdict = "**REGRESSED**"
+		}
+		delta := fmt.Sprintf("%+.3g", f.Delta)
+		if f.Metric == "events_per_sec" {
+			delta = fmt.Sprintf("%+.1f%%", f.Delta*100)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.6g | %.6g | %s | %s |\n",
+			f.Cell, f.Metric, f.Baseline, f.Current, delta, verdict)
+		if f.Note != "" {
+			fmt.Fprintf(&b, "| | | | | | %s |\n", f.Note)
+		}
+	}
+	if d.Regressions == 0 {
+		fmt.Fprintf(&b, "\n**Verdict: no regressions** (events/s tol ±%.0f%%, allocs/event tol +%.1f)\n",
+			BenchEvRateTol*100, BenchAllocsTol)
+	} else {
+		fmt.Fprintf(&b, "\n**Verdict: %d regression(s)** (events/s tol ±%.0f%%, allocs/event tol +%.1f)\n",
 			d.Regressions, BenchEvRateTol*100, BenchAllocsTol)
 	}
 	return b.String()

@@ -33,15 +33,61 @@ func findDiff(t *testing.T, d *BenchDiff, cell, metric string) BenchFinding {
 func TestDiffBenchCleanPass(t *testing.T) {
 	base := benchFixture()
 	cur := benchFixture()
-	// 20% slower and +0.4 allocs: inside both tolerances.
-	cur.Cells[0].EventsPerSec *= 0.80
-	cur.Cells[0].AllocsPerEvent += 0.4
+	// 8% slower and +0.05 allocs: inside both tolerances.
+	cur.Cells[0].EventsPerSec *= 0.92
+	cur.Cells[0].AllocsPerEvent += 0.05
 	d := DiffBench(base, cur)
 	if d.Regressions != 0 {
 		t.Fatalf("clean diff found %d regressions: %s", d.Regressions, d.Format())
 	}
 	if !strings.Contains(d.Format(), "no regressions") {
 		t.Errorf("format lacks the verdict line:\n%s", d.Format())
+	}
+}
+
+// TestDiffBenchCPUMismatchWarns pins the machine-mismatch behaviour: a
+// baseline from a different CPU count produces a warning finding, never a
+// regression — CI containers must not fail the gate just for being
+// smaller than the baseline machine.
+func TestDiffBenchCPUMismatchWarns(t *testing.T) {
+	base := benchFixture()
+	base.NumCPU, base.GoMaxProcs = 16, 16
+	cur := benchFixture()
+	cur.NumCPU, cur.GoMaxProcs = 16, 1 // cgroup-quota shape
+	d := DiffBench(base, cur)
+	if d.Regressions != 0 {
+		t.Fatalf("CPU mismatch counted as regression: %s", d.Format())
+	}
+	f := findDiff(t, d, "machine", "cpus")
+	if f.Regressed || !strings.Contains(f.Note, "different machines") {
+		t.Errorf("machine finding should be an unregressed warning, got %+v", f)
+	}
+	// Identical machines: no warning row at all.
+	same := DiffBench(base, base)
+	for _, f := range same.Findings {
+		if f.Cell == "machine" {
+			t.Errorf("same-machine diff emitted a machine warning: %+v", f)
+		}
+	}
+}
+
+func TestDiffBenchMarkdown(t *testing.T) {
+	base := benchFixture()
+	cur := benchFixture()
+	cur.Cells[0].EventsPerSec *= 0.5
+	md := DiffBench(base, cur).FormatMarkdown()
+	for _, want := range []string{
+		"| cell | metric | baseline | current | delta | verdict |",
+		"| ecmp-load0.5 | events_per_sec |",
+		"**REGRESSED**",
+		"**Verdict: 1 regression(s)**",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown output lacks %q:\n%s", want, md)
+		}
+	}
+	if clean := DiffBench(base, base).FormatMarkdown(); !strings.Contains(clean, "**Verdict: no regressions**") {
+		t.Errorf("clean markdown output lacks the verdict line:\n%s", clean)
 	}
 }
 

@@ -64,6 +64,14 @@ type RunCfg struct {
 	// pooled-vs-unpooled determinism test and for memory profiling.
 	DisablePool bool
 
+	// LegacyScheduler runs this simulation on the pre-wheel stack: the
+	// plain binary-heap event queue (sim.NewHeapOnly) with per-event
+	// closure scheduling in the fabric (fabric.Config.DisableBatch). The
+	// wheel+batching stack is byte-identical to it by construction; the
+	// scheduler-identity determinism tests hold both to that, and it
+	// remains available for bisecting scheduler suspicions.
+	LegacyScheduler bool
+
 	// SampleQueues enables the 10µs queue-length STDV sampler of §3.2.3.
 	SampleQueues bool
 	// TrackGRO enables GRO batch accounting.
@@ -171,13 +179,17 @@ func Run(cfg RunCfg) *RunResult {
 	}
 	t := cfg.Topo()
 	s := sim.New(cfg.Seed)
+	if cfg.LegacyScheduler {
+		s = sim.NewHeapOnly(cfg.Seed)
+	}
 	net := fabric.New(s, t, fabric.Config{
-		Balancer:    cfg.Scheme.New(),
-		Engines:     cfg.Engines,
-		QueueCap:    cfg.QueueCap,
-		VisFactor:   cfg.VisFactor,
-		DisablePool: cfg.DisablePool,
-		Tracer:      cfg.Tracer,
+		Balancer:     cfg.Scheme.New(),
+		Engines:      cfg.Engines,
+		QueueCap:     cfg.QueueCap,
+		VisFactor:    cfg.VisFactor,
+		DisablePool:  cfg.DisablePool,
+		DisableBatch: cfg.LegacyScheduler,
+		Tracer:       cfg.Tracer,
 	})
 	if cfg.Tracer != nil && cfg.TraceSample > 0 {
 		fabric.StartTraceSampler(net, cfg.TraceSample)
@@ -352,6 +364,7 @@ func provConfig(cfg RunCfg) any {
 		FailAtNs          int64
 		InstantReconverge bool
 		DisablePool       bool
+		LegacyScheduler   bool
 		SampleQueues      bool
 		TrackGRO          bool
 		VisFactor         float64

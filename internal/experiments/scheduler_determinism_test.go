@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"drill/internal/trace"
+	"drill/internal/units"
+)
+
+// TestSchedulerIsByteIdentical holds the timing-wheel scheduler and the
+// fabric's per-port event batching to their core contract: they are
+// representation changes, not behaviour changes. Every cell runs once on
+// the production stack (wheel + batching) and once on the legacy
+// reference stack (plain binary heap, one event per packet per hop) and
+// must produce identical fingerprints — FCTs, drops, retransmits,
+// reordering, event counts, utilization. The grid mirrors
+// TestPoolingIsByteIdentical: the tiny sweep plus a drop-heavy cell
+// (tiny queues at high load) and a link-failure cell, so loss, timeout,
+// dead-link drain, and reroute paths are all on the compared path.
+func TestSchedulerIsByteIdentical(t *testing.T) {
+	cells := tinySweepCfgs()
+	lossy, _ := SchemeByName("ECMP")
+	cells = append(cells, RunCfg{
+		Topo: fig6Topo(0), Scheme: lossy, Seed: 21, Load: 0.9, QueueCap: 8,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	})
+	fail, _ := SchemeByName("DRILL")
+	cells = append(cells, RunCfg{
+		Topo: fig6Topo(0), Scheme: fail, Seed: 22, Load: 0.5,
+		FailLinks: 1, FailAt: 200 * units.Microsecond,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	})
+	for i, cfg := range cells {
+		wheel := cfg
+		legacy := cfg
+		legacy.LegacyScheduler = true
+		rw, rl := Run(wheel), Run(legacy)
+		if got, want := fingerprint(rw), fingerprint(rl); got != want {
+			t.Errorf("cell %d (%s seed=%d): wheel run differs from legacy scheduler:\nwheel:  %s\nlegacy: %s",
+				i, cfg.Scheme.Name, cfg.Seed, got, want)
+		}
+	}
+}
+
+// TestSchedulerIsByteIdenticalQTrace extends the identity proof to an
+// instrumented qtrace-style cell: a tracer sampling queue depths and port
+// utilization on an observer ticker. The trace ring's event stream — every
+// sample's timestamp, port, and value — must match event for event across
+// the two schedulers, which additionally pins the observer/daemon event
+// classes (excluded from Executed, never keeping Run alive) to identical
+// dispatch points.
+func TestSchedulerIsByteIdenticalQTrace(t *testing.T) {
+	sc, _ := SchemeByName("DRILL")
+	base := RunCfg{
+		Topo: fig6Topo(0), Scheme: sc, Seed: 23, Load: 0.8,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	}
+	run := func(legacy bool) (*RunResult, []trace.Event) {
+		ring := trace.NewRing(1 << 16)
+		cfg := base
+		cfg.LegacyScheduler = legacy
+		cfg.Tracer = trace.New(ring, trace.WithKinds(trace.QueueSample, trace.PortUtil))
+		cfg.TraceSample = 5 * units.Microsecond
+		return Run(cfg), ring.Events()
+	}
+	rw, evw := run(false)
+	rl, evl := run(true)
+	if got, want := fingerprint(rw), fingerprint(rl); got != want {
+		t.Fatalf("qtrace cell: wheel run differs from legacy scheduler:\nwheel:  %s\nlegacy: %s", got, want)
+	}
+	if len(evw) != len(evl) {
+		t.Fatalf("qtrace cell: trace streams differ in length: wheel %d, legacy %d", len(evw), len(evl))
+	}
+	for i := range evw {
+		if evw[i] != evl[i] {
+			t.Fatalf("qtrace cell: trace event %d differs:\nwheel:  %+v\nlegacy: %+v", i, evw[i], evl[i])
+		}
+	}
+}

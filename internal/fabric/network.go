@@ -70,6 +70,15 @@ type Config struct {
 	// that test and for memory-profiling the unpooled allocation volume.
 	DisablePool bool
 
+	// DisableBatch turns off the per-port timer rings: every visibility
+	// update, tx completion, and wire arrival schedules its own closure via
+	// sim.After, the pre-batching behaviour. Results are byte-identical
+	// either way — the rings re-arm one pre-allocated timer per port at the
+	// exact (time, seq) slots the closures would have occupied — and the
+	// scheduler-identity test holds the data plane to that. The switch
+	// exists for that test and for bisecting batching suspicions.
+	DisableBatch bool
+
 	// Tracer, when non-nil, receives packet-lifecycle events (enqueue,
 	// drop, tx-start, link-depart, arrive, deliver) from this network's
 	// data plane. Nil — the default — costs one branch per site and zero
@@ -120,6 +129,15 @@ type Network struct {
 
 	Switches map[topo.NodeID]*Switch
 	hosts    map[topo.NodeID]*Host
+
+	// Dense per-node/per-channel lookup tables shadowing the maps above:
+	// the arrive/forward path runs once per packet per hop, where a map
+	// lookup's hashing shows up in profiles. Indexed by NodeID / ChanID
+	// (both dense by construction in topo).
+	hostByNode []*Host   // nil for switches
+	swByNode   []*Switch // nil for hosts
+	hostNIC    []int32   // host NodeID → its leaf→host port; -1 elsewhere
+	inIdx      []int32   // arriving ChanID → dense input index at the switch
 
 	Hops metrics.HopStats
 
@@ -174,8 +192,16 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 
 	// One port per directed channel.
 	n.chanPort = make([]int32, 2*len(t.Links))
+	n.inIdx = make([]int32, 2*len(t.Links))
 	for i := range n.chanPort {
 		n.chanPort[i] = -1
+		n.inIdx[i] = -1
+	}
+	n.hostByNode = make([]*Host, len(t.Nodes))
+	n.swByNode = make([]*Switch, len(t.Nodes))
+	n.hostNIC = make([]int32, len(t.Nodes))
+	for i := range n.hostNIC {
+		n.hostNIC[i] = -1
 	}
 	for _, l := range t.Links {
 		for dir := 0; dir < 2; dir++ {
@@ -194,6 +220,13 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 			p.visDelay = units.Time(float64(units.TxTime(cfg.MTU, c.Rate)) * cfg.VisFactor)
 			n.chanPort[c.ID] = p.Index
 			n.Ports = append(n.Ports, p)
+			// The port's reusable event callbacks: the only closures the
+			// data plane ever allocates, one set per port for the network's
+			// life, interned in the scheduler's permanent registry so hot
+			// events carry a plain id instead of a pointer.
+			p.txID = s.Register(func() { n.txDone(p) })
+			p.visID = s.Register(func() { n.visFire(p) })
+			p.wireID = s.Register(func() { n.wireFire(p) })
 		}
 	}
 
@@ -216,8 +249,10 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 			c := t.Chan(cid)
 			if t.Nodes[c.To].Kind == topo.Host {
 				sw.hostPort[c.To] = pi
+				n.hostNIC[c.To] = pi
 			}
 			// The reverse channel arrives here; index it for engine sharding.
+			n.inIdx[cid^1] = int32(len(sw.inIndex))
 			sw.inIndex[cid^1] = len(sw.inIndex)
 		}
 		for e := 0; e < cfg.Engines; e++ {
@@ -227,6 +262,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 			})
 		}
 		n.Switches[nd.ID] = sw
+		n.swByNode[nd.ID] = sw
 	}
 
 	// Hosts.
@@ -239,6 +275,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 			panic(fmt.Sprintf("fabric: host %d has no NIC link", h))
 		}
 		n.hosts[h] = &Host{net: n, ID: h, Leaf: t.LeafOf(h), NIC: nic}
+		n.hostByNode[h] = n.hosts[h]
 	}
 
 	n.Reconverge()
@@ -464,12 +501,36 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 	size := pkt.Size
 	if p.visDelay <= 0 {
 		p.applyVisibility(size)
-	} else {
+	} else if n.Cfg.DisableBatch {
+		//drill:allow hotpath legacy unbatched reference path, off by default
 		n.Sim.After(p.visDelay, func() { p.applyVisibility(size) })
+	} else {
+		// Reserve the tie-break seq now — the slot sim.After would have
+		// taken — and park the update on the port's visibility ring; the
+		// ring's timer fires it at exactly that (time, seq).
+		e := visEntry{at: n.Sim.Now() + p.visDelay, seq: n.Sim.ReserveSeq(), size: size}
+		idle := p.visRing.empty()
+		p.visRing.push(e)
+		if idle {
+			n.Sim.AtSeqID(e.at, e.seq, p.visID)
+		}
 	}
 	if !p.busy {
 		n.transmit(p)
 	}
+}
+
+// visFire applies the head of the port's visibility ring and re-arms the
+// timer for the next entry at its reserved (time, seq) slot.
+//
+//drill:hotpath
+func (n *Network) visFire(p *Port) {
+	e := p.visRing.pop()
+	if !p.visRing.empty() {
+		h := p.visRing.peek()
+		n.Sim.AtSeqID(h.at, h.seq, p.visID)
+	}
+	p.applyVisibility(e.size)
 }
 
 // transmit serializes the head-of-line packet onto the link.
@@ -491,7 +552,15 @@ func (n *Network) transmit(p *Port) {
 	if n.txObs != nil {
 		n.txObs.OnTx(n, p, pkt)
 	}
-	n.Sim.After(txT, func() { n.txDone(p) })
+	if n.Cfg.DisableBatch {
+		//drill:allow hotpath legacy unbatched reference path, off by default
+		n.Sim.After(txT, func() { n.txDone(p) })
+		return
+	}
+	// At most one transmission is in service per port, so the reusable
+	// callback needs no ring; After takes a fresh seq exactly as the
+	// closure-per-packet path did.
+	n.Sim.AfterID(txT, p.txID)
 }
 
 //drill:hotpath
@@ -506,9 +575,21 @@ func (n *Network) txDone(p *Port) {
 		if n.tracer != nil {
 			n.tracer.Packet(trace.LinkDepart, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
-		to := p.To
-		in := p.Chan
-		n.Sim.After(p.Prop, func() { n.arrive(pkt, to, in) })
+		if n.Cfg.DisableBatch {
+			to := p.To
+			in := p.Chan
+			//drill:allow hotpath legacy unbatched reference path, off by default
+			n.Sim.After(p.Prop, func() { n.arrive(pkt, to, in) })
+		} else {
+			// Put the packet on the wire: reserve its arrival's (time, seq)
+			// slot and park it on the port's in-flight ring.
+			e := wireEntry{at: n.Sim.Now() + p.Prop, seq: n.Sim.ReserveSeq(), pkt: pkt}
+			idle := p.wireRing.empty()
+			p.wireRing.push(e)
+			if idle {
+				n.Sim.AtSeqID(e.at, e.seq, p.wireID)
+			}
+		}
 		if !p.queueEmpty() {
 			n.transmit(p)
 		}
@@ -525,6 +606,22 @@ func (n *Network) txDone(p *Port) {
 	}
 	n.pool.Put(pkt)
 	n.drainPort(p)
+}
+
+// wireFire lands the head of the port's in-flight ring at the far end of
+// the link and re-arms the timer for the next packet on the wire at its
+// reserved (time, seq) slot. Re-arming precedes delivery so the arrival's
+// downstream effects (forwarding, transport ACKs) observe a fully
+// consistent ring.
+//
+//drill:hotpath
+func (n *Network) wireFire(p *Port) {
+	e := p.wireRing.pop()
+	if !p.wireRing.empty() {
+		h := p.wireRing.peek()
+		n.Sim.AtSeqID(h.at, h.seq, p.wireID)
+	}
+	n.arrive(e.pkt, p.To, p.Chan)
 }
 
 // drainPort discards all waiting packets of a failed port.
@@ -552,7 +649,7 @@ func (n *Network) drainPort(p *Port) {
 //
 //drill:hotpath
 func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
-	if h, ok := n.hosts[at]; ok {
+	if h := n.hostByNode[at]; h != nil {
 		n.Delivered++
 		if n.tracer != nil {
 			n.tracer.Packet(trace.Deliver, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
@@ -569,7 +666,7 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 		n.pool.Put(pkt)
 		return
 	}
-	sw := n.Switches[at]
+	sw := n.swByNode[at]
 	if n.tracer != nil {
 		n.tracer.Packet(trace.Arrive, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
 			pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
@@ -582,7 +679,17 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 	if n.arriveObs != nil {
 		n.arriveObs.OnArrive(n, sw, pkt)
 	}
-	n.forward(sw, sw.engineFor(in), pkt)
+	// Engine sharding by input channel, via the dense index (same values
+	// Switch.engineFor computes from its map).
+	eng := sw.engines[0]
+	if len(sw.engines) > 1 {
+		idx := n.inIdx[in]
+		if idx < 0 {
+			idx = int32(in)
+		}
+		eng = sw.engines[int(idx)%len(sw.engines)]
+	}
+	n.forward(sw, eng, pkt)
 }
 
 // forward routes pkt out of sw.
@@ -591,7 +698,7 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
 	// Local delivery.
 	if sw.Node == pkt.DstLeaf {
-		if pi, ok := sw.hostPort[pkt.Dst]; ok {
+		if pi := n.hostNIC[pkt.Dst]; pi >= 0 {
 			n.enqueue(n.Ports[pi], pkt)
 			return
 		}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"drill/internal/metrics"
+	"drill/internal/sim"
 	"drill/internal/topo"
 	"drill/internal/units"
 )
@@ -47,6 +48,24 @@ type Port struct {
 	visDelay units.Time
 	busy     bool
 	up       bool
+
+	// Batched event plumbing (see Network.visFire/wireFire): each port owns
+	// three reusable callbacks — for the serialization in progress, the
+	// head of the visibility ring, and the head of the wire ring — instead
+	// of allocating a closure per packet per hop. The rings hold the
+	// pending (at, seq, payload) triples in FIFO order; firing one re-arms
+	// the callback for the next at its reserved (at, seq) via sim.AtSeqID,
+	// so dispatch is byte-identical to the one-event-per-packet path.
+	// Registered ids, not sim.Timers: these are only ever armed when
+	// unarmed (fire-and-rearm), so they need none of a Timer's location
+	// tracking — which would otherwise be maintained on every heap sift of
+	// every packet event — and interning them keeps the scheduler's event
+	// records pointer-free.
+	txID     sim.FnID
+	visID    sim.FnID
+	wireID   sim.FnID
+	visRing  fifo[visEntry]
+	wireRing fifo[wireEntry]
 
 	// Counters.
 	TxPackets int64

@@ -1,0 +1,57 @@
+package fabric
+
+import (
+	"drill/internal/units"
+)
+
+// fifo is an amortized-zero-allocation FIFO used by the per-port event
+// rings. Pushes append; pops advance a head cursor and compact the backing
+// slice once the dead prefix dominates, the same scheme Port's packet
+// queue uses. After warm-up the backing array is reused indefinitely, so a
+// steady-state push/pop cycle allocates nothing.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+//drill:hotpath
+func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
+
+//drill:hotpath
+func (f *fifo[T]) pop() T {
+	var zero T
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}
+
+func (f *fifo[T]) empty() bool { return f.head == len(f.buf) }
+
+//drill:hotpath
+func (f *fifo[T]) peek() *T { return &f.buf[f.head] }
+
+// visEntry is one pending delayed-visibility update: packet size to credit
+// to the port's visible occupancy at time at, under the FIFO tie-break seq
+// reserved when the packet enqueued. Visibility delay is constant per
+// port, so entries are pushed — and therefore fire — in (at, seq) order.
+type visEntry struct {
+	at   units.Time
+	seq  uint64
+	size units.ByteSize
+}
+
+// wireEntry is one packet in flight on a port's link: it arrives at the
+// far end at time at, under the seq reserved when its transmission
+// completed. Propagation delay is constant per port, so the ring is in
+// (at, seq) order by construction.
+type wireEntry struct {
+	at  units.Time
+	seq uint64
+	pkt *Packet
+}

@@ -21,8 +21,11 @@ type Clock interface {
 type Segment struct {
 	Seq int64
 	Len int32
-	// Payload carries the opaque per-packet object delivered downstream.
-	Payload any
+	// Payload carries the packet's send-timestamp echo downstream. It is a
+	// concrete type rather than `any` deliberately: one Segment is built
+	// per delivered data packet, and boxing a timestamp into an interface
+	// is a heap allocation on the hottest receive path.
+	Payload units.Time
 }
 
 // Reorderer is a per-flow shim buffer: segments are delivered downstream in

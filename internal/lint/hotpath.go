@@ -32,10 +32,17 @@ import (
 //     on a prefix of its selector chain — `if n.met != nil {
 //     n.met.delivered.Inc() }` is the idiom, mirroring the trace rule:
 //     metrics off means no pointer chase, no atomic, nothing.
+//
+//  4. Inside //drill:hotpath functions, function literals may not be
+//     passed to internal/sim scheduling calls (After, At, AtSeq,
+//     NewTimer, ...): a capturing closure heap-allocates per call, which
+//     is exactly the per-event allocation the scheduler's Register/FnID
+//     interning and reusable Timers exist to avoid. The legacy
+//     reference paths keep their closures under //drill:allow pragmas.
 var HotPath = &analysis.Analyzer{
 	Name: "hotpath",
-	Doc: "require nil guards on trace and obs emissions and forbid fmt/string-concat/interface-boxing " +
-		"allocations in //drill:hotpath functions",
+	Doc: "require nil guards on trace and obs emissions and forbid fmt/string-concat/interface-boxing/" +
+		"closure-scheduling allocations in //drill:hotpath functions",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runHotPath,
 }
@@ -386,9 +393,20 @@ func checkHotCall(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr) {
 		}
 		return
 	}
-	if fn := typeutil.StaticCallee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		sup.Reportf(call.Pos(), "fmt.%s allocates on the packet hot path; format off the hot path or emit scalar fields", fn.Name())
-		return
+	if fn := typeutil.StaticCallee(info, call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" {
+			sup.Reportf(call.Pos(), "fmt.%s allocates on the packet hot path; format off the hot path or emit scalar fields", fn.Name())
+			return
+		}
+		if isSimSchedPkg(fn.Pkg().Path()) {
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					sup.Reportf(lit.Pos(),
+						"closure passed to sim.%s allocates per scheduled event on the hot path; intern it with Register/AtID or reuse a Timer",
+						fn.Name())
+				}
+			}
+		}
 	}
 	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
 	if !ok {

@@ -101,6 +101,16 @@ func isTracePkg(path string) bool {
 	return path == tracePkgSuffix || strings.HasSuffix(path, "/"+tracePkgSuffix)
 }
 
+// simSchedPkgSuffix identifies the scheduler package, whose func()-taking
+// schedule entry points are the closure-per-event allocation sites the
+// hotpath rule bans.
+const simSchedPkgSuffix = "internal/sim"
+
+// isSimSchedPkg reports whether path is the internal/sim package.
+func isSimSchedPkg(path string) bool {
+	return path == simSchedPkgSuffix || strings.HasSuffix(path, "/"+simSchedPkgSuffix)
+}
+
 // obsPkgSuffix identifies the metrics package (exempt from the
 // obs-emission guard rule for the same reason as trace: instrument
 // methods update their own receivers).

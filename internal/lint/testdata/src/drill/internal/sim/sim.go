@@ -1,0 +1,24 @@
+// Package sim is a fixture stub of the scheduler's scheduling surface,
+// just enough signature for the hotpath analyzer's closure-scheduling
+// rule to resolve callees against.
+package sim
+
+// FnID names a callback interned with Register.
+type FnID int32
+
+// Sim mirrors the scheduler's scheduling entry points.
+type Sim struct{}
+
+func (s *Sim) After(d int64, fn func())             {}
+func (s *Sim) At(t int64, fn func())                {}
+func (s *Sim) AtSeq(t int64, seq uint64, fn func()) {}
+func (s *Sim) AfterID(d int64, id FnID)             {}
+func (s *Sim) AtID(t int64, id FnID)                {}
+func (s *Sim) Register(fn func()) FnID              { return 0 }
+func (s *Sim) NewTimer(fn func()) *Timer            { return &Timer{} }
+
+// Timer mirrors the cancellable timer.
+type Timer struct{}
+
+func (t *Timer) Reset(d int64) {}
+func (t *Timer) Stop() bool    { return false }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"drill/internal/obs"
+	"drill/internal/sim"
 	"drill/internal/trace"
 )
 
@@ -149,4 +150,36 @@ func (s *sw) coldEmit() {
 //drill:hotpath
 func (s *sw) allowedEmit() {
 	s.met.delivered.Inc() //drill:allow hotpath warm-up emission, runs once before the packet loop
+}
+
+// Closure-scheduling rule: function literals handed to internal/sim
+// scheduling calls allocate per event.
+
+type ring struct {
+	s  *sim.Sim
+	id sim.FnID
+	tm *sim.Timer
+	n  int64
+}
+
+// arm is on the per-packet path; it may not allocate a closure per event.
+//
+//drill:hotpath
+func (r *ring) arm(d int64) {
+	r.s.After(d, func() { r.n++ })    // want `closure passed to sim.After allocates per scheduled event`
+	r.s.AtSeq(d, 1, func() { r.n++ }) // want `closure passed to sim.AtSeq allocates per scheduled event`
+	r.s.AfterID(d, r.id)              // interned id: the sanctioned zero-alloc shape
+	r.tm.Reset(d)                     // reusable timer: equally fine
+	fire := r.fire
+	r.s.After(d, fire)             // method value bound once outside the call: no literal
+	r.s.After(d, func() { r.n++ }) //drill:allow hotpath fixture: proves the pragma escape works
+}
+
+func (r *ring) fire() { r.n++ }
+
+// setup is unmarked: closures at wiring time are how Register is meant
+// to be used.
+func setup(s *sim.Sim, r *ring) {
+	r.id = s.Register(func() { r.n++ })
+	r.tm = s.NewTimer(func() { r.n++ })
 }

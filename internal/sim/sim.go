@@ -1,37 +1,155 @@
 // Package sim provides the discrete-event simulation engine underlying the
-// DRILL fabric models. It offers a nanosecond-resolution virtual clock, a
-// binary-heap event scheduler with deterministic FIFO tie-breaking,
-// cancellable re-armable Timers whose heap entries are index-tracked (so a
-// Reset or Stop relocates/deletes the live entry instead of abandoning a
-// tombstone), and seeded random-number streams so every run is
-// reproducible.
+// DRILL fabric models. It offers a nanosecond-resolution virtual clock, an
+// O(1) hierarchical timing-wheel scheduler with deterministic FIFO
+// tie-breaking (a binary-heap overflow tier catches far-future events),
+// cancellable re-armable Timers whose entries are location-tracked across
+// every tier (so a Reset or Stop relocates/deletes the live entry instead
+// of abandoning a tombstone), and seeded random-number streams so every
+// run is reproducible.
+//
+// # Scheduler structure
+//
+// Events live in one of three tiers, picked by how far ahead of the wheel
+// cursor they land:
+//
+//   - near: the current wheel bucket's window, split between a sorted
+//     dispatch list (the bucket's untracked events, ordered once at pour
+//     time and consumed by a cursor) and a small index-tracked min-heap
+//     (Timer-owned entries, plus anything scheduled into the window after
+//     it opened). Dispatch interleaves the two by direct (time, seq)
+//     comparison, so the exact total order is enforced here.
+//   - wheel: a calendar queue of fixed-width buckets covering the short
+//     horizon that dominates a packet simulation (tx-done, link-depart,
+//     visibility updates, RTO resets). Insertion and timer cancellation
+//     are O(1) appends/swap-removes; a bucket's events are poured into
+//     the near tier when the cursor reaches it.
+//   - far: the index-tracked heap retained from the pre-wheel scheduler,
+//     as the overflow tier for events beyond the wheel horizon. Events
+//     cascade from far into the wheel as the cursor advances.
+//
+// Determinism argument: dispatch order is (at, seq) everywhere. The near
+// tier compares that key directly, whether an event sits in the sorted
+// list or the heap. A wheel bucket only ever holds events of one bucket
+// window per revolution (anything nearer goes to the near tier, anything
+// farther goes to a later bucket or the far tier), and the whole bucket
+// is poured and ordered before any of it dispatches, so intra-bucket
+// insertion order never matters. The far tier is a heap on the same key
+// and only feeds the wheel. Hence the wheel scheduler dispatches in
+// exactly the order the plain heap would — NewHeapOnly exists to assert
+// that equivalence in tests, byte for byte.
 package sim
 
 import (
 	"math/rand"
+	"slices"
 
 	"drill/internal/units"
 )
 
+// Wheel geometry. Buckets are 1.024µs wide — comparable to one MTU
+// serialization at 10Gbps, so back-to-back packet events land a bucket or
+// two ahead — and the 4096-bucket span covers ~4.2ms, which swallows RTO
+// re-arms (1ms floor) and control-plane reconvergence (1ms) on the O(1)
+// path. Only drain horizons and backed-off RTOs overflow to the far tier.
+const (
+	wheelShift = 10                                  // log2 bucket width in ns
+	wheelBits  = 12                                  // log2 bucket count
+	wheelSize  = 1 << wheelBits                      // buckets per revolution
+	wheelMask  = wheelSize - 1                       // bucket index mask
+	bucketW    = units.Nanosecond << wheelShift      // bucket width
+	horizonW   = units.Time(wheelSize) << wheelShift // wheel span
+)
+
+// Event-key flag bits. The FIFO tie-break sequence number is packed above
+// the flag bits, so one uint64 comparison orders same-time events and
+// carries the daemon/observer/tracked classification without widening the
+// event.
+const (
+	keyDaemon  uint64 = 1 << 0 // never keeps Run alive
+	keySilent  uint64 = 1 << 1 // excluded from Executed accounting
+	keyTracked uint64 = 1 << 2 // a Timer owns this entry (location-tracked)
+	keyShift          = 3
+)
+
+// Timer tier tags (Timer.tier, eventHeap.tier).
+const (
+	tierNone  int8 = iota // not scheduled
+	tierNear              // near heap index Timer.idx
+	tierFar               // far heap index Timer.idx
+	tierWheel             // wheel bucket Timer.bucket, slot Timer.idx
+)
+
+// event is deliberately pointer-free: 24 bytes of plain data. The callback
+// (and owning Timer, for tracked entries) lives in the Sim's slot table,
+// referenced by id. Events are copied constantly — heap sifts, bucket
+// pours, dispatch-list sorts — and keeping them POD means those copies are
+// raw memmoves with no write barriers, and none of the scheduler's arrays
+// (4096 wheel buckets, two heaps, the dispatch list) hold pointers the
+// garbage collector has to scan.
+//
+// id >= 0 indexes Sim.slots (a per-event slot, recycled through a free
+// list when the event dispatches or is cancelled); id < 0 is ^id into
+// Sim.perms, the registry of permanent callbacks interned once with
+// Register and never released — the fabric's per-port callbacks take this
+// path, skipping slot churn entirely.
 type event struct {
-	at     units.Time
-	seq    uint64
-	fn     func()
-	timer  *Timer // non-nil when a Timer owns this entry (index-tracked)
-	daemon bool
-	silent bool // observer event: excluded from Executed accounting
+	at  units.Time
+	key uint64 // seq<<keyShift | flags; orders same-time events FIFO
+	id  int32  // slot index (>= 0) or ^perm index (< 0)
+}
+
+// slot parks one scheduled event's pointers outside the event arrays.
+// Vacant slots chain through next into Sim.free.
+type slot struct {
+	fn    func()
+	timer *Timer // non-nil for Timer-owned (location-tracked) entries
+	next  int32  // free-list link when vacant
+}
+
+// less orders events by (time, seq): the flag bits sit below the sequence
+// number, so comparing packed keys preserves strict FIFO tie-breaking.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.key < b.key
 }
 
 // Sim is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; run independent simulations in separate Sim instances.
 type Sim struct {
 	now     units.Time
-	heap    []event
 	seq     uint64
 	seed    int64
 	rng     *rand.Rand
 	halted  bool
 	daemons int // scheduled daemon events (they never keep Run alive)
+
+	near eventHeap // straggler events inside the cursor bucket's window
+	far  eventHeap // events beyond the wheel horizon
+
+	// dl is the dispatch list: the cursor bucket's untracked events,
+	// sorted once at pour time and consumed by advancing dlHead. Most
+	// events take this path — one append at schedule, one sort pass
+	// amortized over the bucket, one cursor increment at dispatch —
+	// instead of O(log n) heap sifts in and out. Only events that need
+	// location tracking (Timer-owned) or that are scheduled into the
+	// already-open window (they'd have to merge into a sorted prefix) go
+	// through the near heap, and the dispatch loop interleaves the two by
+	// (at, seq) comparison.
+	dl     []event
+	dlHead int
+
+	buckets [][]event  // wheel: wheelSize fixed-width calendar buckets
+	base    units.Time // start of the cursor bucket's window (bucketW-aligned)
+	cur     int32      // cursor bucket index
+	wcount  int        // events currently stored in wheel buckets
+
+	slots []slot   // callback/timer storage for live events, by event id
+	free  int32    // head of the vacant-slot free list; -1 when empty
+	perms []func() // permanent callbacks interned by Register
+
+	heapOnly bool // route everything through the near heap (reference mode)
 
 	// Executed counts events dispatched since creation, for reporting.
 	Executed uint64
@@ -39,7 +157,28 @@ type Sim struct {
 
 // New returns a simulator whose random streams derive from seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	s := &Sim{
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		near:    eventHeap{tier: tierNear},
+		far:     eventHeap{tier: tierFar},
+		buckets: make([][]event, wheelSize),
+		free:    -1,
+	}
+	s.near.s = s
+	s.far.s = s
+	return s
+}
+
+// NewHeapOnly returns a simulator that bypasses the timing wheel and runs
+// every event through the plain binary heap — the pre-wheel scheduler.
+// Dispatch order is identical to New by construction; this mode exists so
+// equivalence tests can prove it (see TestSchedulerIsByteIdentical) and as
+// a diagnostic fallback when bisecting scheduler suspicions.
+func NewHeapOnly(seed int64) *Sim {
+	s := New(seed)
+	s.heapOnly = true
+	return s
 }
 
 // Now returns the current simulated time.
@@ -56,6 +195,63 @@ func (s *Sim) Stream(id int64) *rand.Rand {
 	return rand.New(rand.NewSource(s.seed ^ (id+1)*mix))
 }
 
+// alloc claims a slot for one scheduled event's callback (and owning
+// timer, if any) and returns its id. Slots recycle through a free list, so
+// steady-state scheduling never allocates.
+//
+//drill:hotpath
+func (s *Sim) alloc(fn func(), t *Timer) int32 {
+	if id := s.free; id >= 0 {
+		sl := &s.slots[id]
+		s.free = sl.next
+		sl.fn, sl.timer = fn, t
+		return id
+	}
+	s.slots = append(s.slots, slot{fn: fn, timer: t})
+	return int32(len(s.slots) - 1)
+}
+
+// release vacates an event's slot, dropping its pointers so the GC can
+// reclaim the captures.
+//
+//drill:hotpath
+func (s *Sim) release(id int32) {
+	sl := &s.slots[id]
+	sl.fn, sl.timer = nil, nil
+	sl.next = s.free
+	s.free = id
+}
+
+// FnID names a callback interned with Register. Scheduling by id (AtID,
+// AfterID, AtSeqID) skips the per-event slot round-trip; it is the right
+// shape for long-lived fire-and-rearm callbacks like the fabric's per-port
+// handlers, which are armed millions of times but created once.
+type FnID int32
+
+// Register interns a long-lived callback and returns its id. Registered
+// callbacks are never released; transient callbacks should use the
+// func()-taking schedule calls instead.
+func (s *Sim) Register(fn func()) FnID {
+	if fn == nil {
+		panic("sim: Register requires a callback")
+	}
+	s.perms = append(s.perms, fn)
+	return FnID(len(s.perms) - 1)
+}
+
+// ReserveSeq allocates and returns the next FIFO tie-break sequence
+// number, exactly as scheduling an event now would. It exists for batched
+// event sources (the fabric's per-port burst rings): a producer reserves
+// the seq at the instant the old one-event-per-packet design would have
+// scheduled, hands it to Timer.ResetAt when the entry reaches the head of
+// its ring, and dispatch order stays byte-identical to the unbatched path.
+//
+//drill:hotpath
+func (s *Sim) ReserveSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would silently reorder causality.
 //
@@ -65,7 +261,52 @@ func (s *Sim) At(t units.Time, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn})
+	s.schedule(event{at: t, key: s.seq << keyShift, id: s.alloc(fn, nil)})
+}
+
+// AtID schedules the callback registered under id at absolute time t, with
+// a fresh tie-break sequence number, exactly as At would.
+//
+//drill:hotpath
+func (s *Sim) AtID(t units.Time, id FnID) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.seq++
+	s.schedule(event{at: t, key: s.seq << keyShift, id: ^int32(id)})
+}
+
+// AfterID schedules the callback registered under id to run d from now.
+//
+//drill:hotpath
+func (s *Sim) AfterID(d units.Time, id FnID) { s.AtID(s.now+d, id) }
+
+// AtSeq schedules fn at absolute time t under a tie-break sequence number
+// previously allocated with ReserveSeq. It is the batched producers' arm
+// operation: a ring that reserved its entries' seqs at the instant the
+// unbatched design would have scheduled them re-arms one reusable callback
+// per firing, and the (t, seq) pair lands every dispatch in exactly the
+// slot the unbatched event stream gave it. Arming with a stale seq is
+// legitimate precisely because the ring preserved FIFO order; t must not
+// be in the past.
+//
+//drill:hotpath
+func (s *Sim) AtSeq(t units.Time, seq uint64, fn func()) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.schedule(event{at: t, key: seq << keyShift, id: s.alloc(fn, nil)})
+}
+
+// AtSeqID is AtSeq over a callback registered with Register — the zero-
+// alloc arm operation the fabric's per-port rings use.
+//
+//drill:hotpath
+func (s *Sim) AtSeqID(t units.Time, seq uint64, id FnID) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.schedule(event{at: t, key: seq << keyShift, id: ^int32(id)})
 }
 
 // After schedules fn to run d after the current time.
@@ -83,7 +324,7 @@ func (s *Sim) AfterDaemon(d units.Time, fn func()) {
 	}
 	s.seq++
 	s.daemons++
-	s.push(event{at: t, seq: s.seq, fn: fn, daemon: true})
+	s.schedule(event{at: t, key: s.seq<<keyShift | keyDaemon, id: s.alloc(fn, nil)})
 }
 
 // AfterObserver schedules fn like AfterDaemon, but additionally excludes
@@ -99,7 +340,35 @@ func (s *Sim) AfterObserver(d units.Time, fn func()) {
 	}
 	s.seq++
 	s.daemons++
-	s.push(event{at: t, seq: s.seq, fn: fn, daemon: true, silent: true})
+	s.schedule(event{at: t, key: s.seq<<keyShift | keyDaemon | keySilent, id: s.alloc(fn, nil)})
+}
+
+// schedule routes an event to its tier by distance from the wheel cursor.
+//
+//drill:hotpath
+func (s *Sim) schedule(ev event) {
+	if s.heapOnly || ev.at < s.base+bucketW {
+		// Inside the current bucket window (or reference mode): the near
+		// heap enforces (at, seq) order directly. Events behind the cursor
+		// window — possible after RunUntil advanced the clock into a quiet
+		// region — land here too, keeping order exact without rewinding.
+		s.near.push(ev)
+		return
+	}
+	if ev.at < s.base+horizonW {
+		b := int32(ev.at>>wheelShift) & wheelMask
+		bk := append(s.buckets[b], ev)
+		s.buckets[b] = bk
+		if ev.key&keyTracked != 0 {
+			t := s.slots[ev.id].timer
+			t.tier = tierWheel
+			t.bucket = b
+			t.idx = int32(len(bk) - 1)
+		}
+		s.wcount++
+		return
+	}
+	s.far.push(ev)
 }
 
 // Halt stops the run loop after the currently executing event returns. A
@@ -111,16 +380,90 @@ func (s *Sim) Halt() { s.halted = true }
 func (s *Sim) Halted() bool { return s.halted }
 
 // Pending reports the number of scheduled events not yet dispatched.
-// Cancelled timer events are removed from the heap eagerly, so they never
-// count here.
-func (s *Sim) Pending() int { return len(s.heap) }
+// Cancelled timer events are removed from their tier eagerly, so they
+// never count here.
+func (s *Sim) Pending() int {
+	return len(s.near.ev) + (len(s.dl) - s.dlHead) + s.wcount + len(s.far.ev)
+}
+
+// eventCmp is less as a three-way comparison, for sorting poured buckets.
+// Two events never compare equal: seqs are unique.
+func eventCmp(a, b event) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.key < b.key {
+		return -1
+	}
+	if a.key > b.key {
+		return 1
+	}
+	return 0
+}
+
+// ensureNear advances the wheel cursor — cascading overflow events in and
+// pouring reached buckets into the dispatch list / near heap — until one
+// of them holds the globally earliest pending event. It reports false when
+// no events are pending anywhere. Advancing never skips an event: a bucket
+// is emptied before the cursor moves past it, and the far tier is drained
+// of everything the widened horizon covers at each step.
+//
+//drill:hotpath
+func (s *Sim) ensureNear() bool {
+	for len(s.near.ev) == 0 && s.dlHead == len(s.dl) {
+		if s.wcount == 0 {
+			if len(s.far.ev) == 0 {
+				return false
+			}
+			// Wheel idle: jump the cursor straight to the earliest far
+			// event's bucket instead of stepping through empty buckets.
+			at := s.far.ev[0].at
+			s.base = at &^ (bucketW - 1)
+			s.cur = int32(at>>wheelShift) & wheelMask
+		} else {
+			s.base += bucketW
+			s.cur = (s.cur + 1) & wheelMask
+		}
+		// Cascade far-tier events the advanced horizon now covers.
+		for len(s.far.ev) > 0 && s.far.ev[0].at < s.base+horizonW {
+			s.schedule(s.far.popMin())
+		}
+		// Pour the cursor bucket: Timer-owned entries go through the near
+		// heap (they keep index tracking so Reset/Stop can still find
+		// them); everything else becomes the new dispatch list, sorted
+		// once. The exhausted previous list's backing array is handed back
+		// to the bucket, so the two arrays rotate without allocating.
+		bk := s.buckets[s.cur]
+		if len(bk) > 0 {
+			s.wcount -= len(bk)
+			keep := bk[:0]
+			for i := range bk {
+				if bk[i].key&keyTracked != 0 {
+					s.near.push(bk[i])
+				} else {
+					keep = append(keep, bk[i])
+				}
+			}
+			slices.SortFunc(keep, eventCmp)
+			s.buckets[s.cur] = s.dl[:0]
+			s.dl, s.dlHead = keep, 0
+		}
+	}
+	return true
+}
 
 // Run dispatches events in time order until only daemon events remain or
 // Halt is called. Entering Run clears any previous halt, so a Sim halted
 // mid-run can be resumed.
 func (s *Sim) Run() {
 	s.halted = false
-	for len(s.heap) > s.daemons && !s.halted {
+	for s.Pending() > s.daemons && !s.halted {
+		if !s.ensureNear() {
+			return
+		}
 		s.step()
 	}
 }
@@ -129,7 +472,7 @@ func (s *Sim) Run() {
 // Like Run, it clears any previous halt on entry.
 func (s *Sim) RunUntil(t units.Time) {
 	s.halted = false
-	for len(s.heap) > 0 && !s.halted && s.heap[0].at <= t {
+	for !s.halted && s.ensureNear() && s.peekAt() <= t {
 		s.step()
 	}
 	if !s.halted && s.now < t {
@@ -137,145 +480,211 @@ func (s *Sim) RunUntil(t units.Time) {
 	}
 }
 
+// peekAt returns the earliest pending event time; ensureNear must have
+// returned true.
+//
+//drill:hotpath
+func (s *Sim) peekAt() units.Time {
+	if s.dlHead < len(s.dl) {
+		if len(s.near.ev) > 0 && less(&s.near.ev[0], &s.dl[s.dlHead]) {
+			return s.near.ev[0].at
+		}
+		return s.dl[s.dlHead].at
+	}
+	return s.near.ev[0].at
+}
+
 //drill:hotpath
 func (s *Sim) step() {
-	ev := s.pop()
-	if ev.daemon {
+	var ev event
+	if s.dlHead < len(s.dl) {
+		if len(s.near.ev) > 0 && less(&s.near.ev[0], &s.dl[s.dlHead]) {
+			ev = s.near.popMin()
+		} else {
+			ev = s.dl[s.dlHead]
+			s.dlHead++
+		}
+	} else {
+		ev = s.near.popMin()
+	}
+	if ev.key&keyDaemon != 0 {
 		s.daemons--
 	}
 	s.now = ev.at
-	if !ev.silent {
+	if ev.key&keySilent == 0 {
 		s.Executed++
 	}
-	ev.fn()
+	var fn func()
+	if ev.id < 0 {
+		fn = s.perms[^ev.id]
+	} else {
+		sl := &s.slots[ev.id]
+		fn = sl.fn
+		if ev.key&keyTracked != 0 {
+			// Disarm before running: the callback may immediately Reset.
+			sl.timer.tier = tierNone
+		}
+		s.release(ev.id)
+	}
+	fn()
 }
 
-// push, pop, siftUp, siftDown, and remove implement a hand-rolled binary
-// min-heap keyed on (at, seq). container/heap's interface indirection costs
-// measurably at the tens of millions of events a single experiment point
-// dispatches. Entries owned by a Timer carry a back-pointer whose heap
-// index is kept current through every move, so Reset/Stop relocate or
-// delete the live entry in O(log n) instead of abandoning tombstones.
-
-// setIdx records i as the heap position of the timer owning heap[i], if any.
+// wheelRemove deletes slot i of bucket b (a cancelled timer entry) in O(1)
+// by swap-removal; bucket-internal order is irrelevant because a bucket is
+// re-ordered through the near heap before dispatch.
 //
 //drill:hotpath
-func (s *Sim) setIdx(i int) {
-	if t := s.heap[i].timer; t != nil {
-		t.idx = i
+func (s *Sim) wheelRemove(b, i int32) {
+	bk := s.buckets[b]
+	if ev := &bk[i]; ev.id >= 0 {
+		if ev.key&keyTracked != 0 {
+			s.slots[ev.id].timer.tier = tierNone
+		}
+		s.release(ev.id)
+	}
+	last := int32(len(bk) - 1)
+	if i != last {
+		bk[i] = bk[last]
+		if ev := &bk[i]; ev.key&keyTracked != 0 {
+			s.slots[ev.id].timer.idx = i
+		}
+	}
+	s.buckets[b] = bk[:last]
+	s.wcount--
+}
+
+// eventHeap is a hand-rolled binary min-heap keyed on (at, seq).
+// container/heap's interface indirection costs measurably at the tens of
+// millions of events a single experiment point dispatches. Entries owned
+// by a Timer are flagged in their key; their owning timer (found through
+// the slot table) has its tier and index kept current through every move,
+// so Reset/Stop relocate or delete the live entry instead of abandoning
+// tombstones. Because events are pointer-free, every sift swap is a plain
+// 24-byte copy with no write barrier.
+type eventHeap struct {
+	ev   []event
+	s    *Sim
+	tier int8
+}
+
+// setIdx records i as the location of the timer owning ev[i], if any.
+//
+//drill:hotpath
+func (h *eventHeap) setIdx(i int) {
+	if ev := &h.ev[i]; ev.key&keyTracked != 0 {
+		t := h.s.slots[ev.id].timer
+		t.tier = h.tier
+		t.idx = int32(i)
 	}
 }
 
 //drill:hotpath
-func (s *Sim) push(ev event) {
-	s.heap = append(s.heap, ev)
-	i := len(s.heap) - 1
-	s.setIdx(i)
-	s.siftUp(i)
+func (h *eventHeap) push(ev event) {
+	h.ev = append(h.ev, ev)
+	i := len(h.ev) - 1
+	h.setIdx(i)
+	h.siftUp(i)
 }
 
+// The heap is 4-ary rather than binary: half the levels per sift, and the
+// four children of a node are contiguous (one or two cache lines), which
+// profiles measurably faster than a binary heap at this package's event
+// rates. Arity changes the tree shape only — extraction order is still
+// strictly (at, seq), which is all determinism needs.
+
 //drill:hotpath
-func (s *Sim) siftUp(i int) {
+func (h *eventHeap) siftUp(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(s.heap[i], s.heap[parent]) {
+		parent := (i - 1) / 4
+		if !less(&h.ev[i], &h.ev[parent]) {
 			break
 		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
-		s.setIdx(i)
-		s.setIdx(parent)
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		h.setIdx(i)
+		h.setIdx(parent)
 		i = parent
 	}
 }
 
 //drill:hotpath
-func (s *Sim) siftDown(i int) {
-	n := len(s.heap)
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
 	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < n && less(s.heap[l], s.heap[least]) {
-			least = l
+		c := 4*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && less(s.heap[r], s.heap[least]) {
-			least = r
+		least := i
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if less(&h.ev[c], &h.ev[least]) {
+				least = c
+			}
 		}
 		if least == i {
 			break
 		}
-		s.heap[i], s.heap[least] = s.heap[least], s.heap[i]
-		s.setIdx(i)
-		s.setIdx(least)
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		h.setIdx(i)
+		h.setIdx(least)
 		i = least
 	}
 }
 
-// fix restores the heap property after heap[i]'s key changed in place.
-//
 //drill:hotpath
-func (s *Sim) fix(i int) {
-	s.siftUp(i)
-	s.siftDown(i)
-}
-
-//drill:hotpath
-func (s *Sim) pop() event {
-	h := s.heap
-	top := h[0]
-	if top.timer != nil {
-		top.timer.idx = -1
-	}
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = event{} // clear the closure so the GC can reclaim captures
-	s.heap = h[:last]
+func (h *eventHeap) popMin() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
 	if last > 0 {
-		s.setIdx(0)
-		s.siftDown(0)
+		h.setIdx(0)
+		h.siftDown(0)
 	}
 	return top
 }
 
-// remove deletes heap[i] (a cancelled timer entry) in O(log n).
+// removeAt deletes ev[i] (a cancelled timer entry) in O(log n).
 //
 //drill:hotpath
-func (s *Sim) remove(i int) {
-	h := s.heap
-	if t := h[i].timer; t != nil {
-		t.idx = -1
+func (h *eventHeap) removeAt(i int) {
+	if ev := &h.ev[i]; ev.id >= 0 {
+		if ev.key&keyTracked != 0 {
+			h.s.slots[ev.id].timer.tier = tierNone
+		}
+		h.s.release(ev.id)
 	}
-	last := len(h) - 1
+	last := len(h.ev) - 1
 	if i != last {
-		h[i] = h[last]
-		s.setIdx(i)
+		h.ev[i] = h.ev[last]
+		h.setIdx(i)
 	}
-	h[last] = event{}
-	s.heap = h[:last]
+	h.ev = h.ev[:last]
 	if i != last {
-		s.fix(i)
+		h.siftUp(i)
+		h.siftDown(i)
 	}
-}
-
-func less(a, b event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
 }
 
 // Timer is a cancellable, re-armable scheduled callback. Unlike At/After —
-// which are fire-and-forget — a Timer owns at most one live heap entry:
-// Reset moves that entry (or creates it) and Stop deletes it, both in
-// O(log n). Re-armed timers therefore never accumulate dead events in the
-// heap, which is what keeps per-flow retransmission timers O(1) in heap
-// space no matter how many times ACKs re-arm them.
+// which are fire-and-forget — a Timer owns at most one live scheduler
+// entry: Reset moves that entry (or creates it) and Stop deletes it, in
+// O(1) on the wheel tier and O(log n) on the heap tiers. Re-armed timers
+// therefore never accumulate dead events in the scheduler, which is what
+// keeps per-flow retransmission timers O(1) in scheduler space no matter
+// how many times ACKs re-arm them.
 //
 // A Timer belongs to the single-threaded Sim that created it; the zero
 // value is not usable.
 type Timer struct {
-	s   *Sim
-	fn  func()
-	idx int // position in s.heap, or -1 when not scheduled
+	s      *Sim
+	fn     func()
+	tier   int8  // which tier holds the live entry; tierNone when unarmed
+	bucket int32 // wheel bucket (tierWheel only)
+	idx    int32 // heap index or bucket slot
 }
 
 // NewTimer returns an unarmed timer that runs fn when it fires. The one
@@ -285,11 +694,25 @@ func (s *Sim) NewTimer(fn func()) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer requires a callback")
 	}
-	return &Timer{s: s, fn: fn, idx: -1}
+	return &Timer{s: s, fn: fn, tier: tierNone, idx: -1}
 }
 
 // Armed reports whether the timer is scheduled to fire.
-func (t *Timer) Armed() bool { return t.idx >= 0 }
+func (t *Timer) Armed() bool { return t.tier != tierNone }
+
+// detach removes the timer's live entry from whichever tier holds it.
+//
+//drill:hotpath
+func (t *Timer) detach() {
+	switch t.tier {
+	case tierNear:
+		t.s.near.removeAt(int(t.idx))
+	case tierFar:
+		t.s.far.removeAt(int(t.idx))
+	case tierWheel:
+		t.s.wheelRemove(t.bucket, t.idx)
+	}
+}
 
 // Reset (re)schedules the timer to fire d from now, cancelling any earlier
 // deadline. Like After, the new deadline takes a fresh FIFO tie-break
@@ -302,27 +725,44 @@ func (t *Timer) Reset(d units.Time) {
 		panic("sim: timer reset into the past")
 	}
 	s := t.s
-	at := s.now + d
-	s.seq++
-	if t.idx >= 0 {
-		s.heap[t.idx].at = at
-		s.heap[t.idx].seq = s.seq
-		s.fix(t.idx)
-		return
+	if t.tier != tierNone {
+		t.detach()
 	}
-	s.push(event{at: at, seq: s.seq, fn: t.fn, timer: t})
+	s.seq++
+	s.schedule(event{at: s.now + d, key: s.seq<<keyShift | keyTracked, id: s.alloc(t.fn, t)})
 }
 
-// Stop cancels the pending firing, if any, removing its heap entry
+// ResetAt (re)schedules the timer to fire at absolute time at, under a
+// sequence number previously allocated with ReserveSeq. It is the batched
+// producers' arm operation: the (at, seq) pair decides dispatch order, so
+// an entry that waited in a per-port ring fires in exactly the slot the
+// old schedule-at-enqueue design gave it. Arming with a stale seq is
+// legitimate precisely because the ring preserved FIFO order; at must not
+// be in the past.
+//
+//drill:hotpath
+func (t *Timer) ResetAt(at units.Time, seq uint64) {
+	s := t.s
+	if at < s.now {
+		panic("sim: timer reset into the past")
+	}
+	if t.tier != tierNone {
+		t.detach()
+	}
+	s.schedule(event{at: at, key: seq<<keyShift | keyTracked, id: s.alloc(t.fn, t)})
+}
+
+// Stop cancels the pending firing, if any, removing its scheduler entry
 // eagerly. It reports whether a firing was actually cancelled. Stopping an
 // unarmed timer is a no-op, so Stop is safe to call unconditionally.
 //
 //drill:hotpath
 func (t *Timer) Stop() bool {
-	if t.idx < 0 {
+	if t.tier == tierNone {
 		return false
 	}
-	t.s.remove(t.idx)
+	t.detach()
+	t.tier = tierNone
 	return true
 }
 

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"drill/internal/units"
+)
+
+// The timing wheel must be a pure representation change: New and
+// NewHeapOnly dispatch the same events in the same order with the same
+// Pending counts, byte for byte. The tests here drive both schedulers
+// through the same scripted operation sequences — spanning the near
+// window, the wheel horizon, the far overflow tier, timer churn, and
+// mid-run clock advances — and diff the full dispatch transcripts.
+
+// wheelOp is one scripted scheduler operation. Scripts are generated
+// (property test) or decoded from fuzz input, then applied identically to
+// a wheel Sim and a heap-only Sim.
+type wheelOp struct {
+	kind  uint8 // 0 After, 1 chained After, 2 AfterDaemon, 3 Reset, 4 Stop, 5 RunUntil
+	delay units.Time
+	tm    int // timer index for Reset/Stop
+}
+
+const wheelScriptTimers = 4
+
+// applyScript runs ops on s and returns the dispatch transcript: one line
+// per event in dispatch order, recording the label, the clock, and the
+// pending count observed inside the callback, plus a trailer with the
+// final clock and pending count after Run drains the queue.
+func applyScript(s *Sim, ops []wheelOp) []string {
+	var log []string
+	rec := func(label int) {
+		log = append(log, fmt.Sprintf("%d@%d:p%d", label, s.Now(), s.Pending()))
+	}
+	var tms [wheelScriptTimers]*Timer
+	for i := range tms {
+		i := i
+		tms[i] = s.NewTimer(func() { rec(-1 - i) })
+	}
+	for i, op := range ops {
+		label := i
+		switch op.kind {
+		case 0:
+			s.After(op.delay, func() { rec(label) })
+		case 1:
+			// Scheduling from inside a callback lands in the already-open
+			// window — the near-heap straggler path.
+			child := (op.delay*7919 + 13) % (3 * bucketW)
+			s.After(op.delay, func() {
+				rec(label)
+				s.After(child, func() { rec(label + 1_000_000) })
+			})
+		case 2:
+			s.AfterDaemon(op.delay, func() { rec(label) })
+		case 3:
+			tms[op.tm%wheelScriptTimers].Reset(op.delay)
+		case 4:
+			tms[op.tm%wheelScriptTimers].Stop()
+		case 5:
+			s.RunUntil(s.Now() + op.delay)
+			log = append(log, fmt.Sprintf("adv@%d:p%d", s.Now(), s.Pending()))
+		}
+	}
+	s.Run()
+	return append(log, fmt.Sprintf("end@%d:p%d", s.Now(), s.Pending()))
+}
+
+// diffScript applies ops to a wheel and a heap-only simulator and returns
+// the first transcript divergence, or "" if they match exactly.
+func diffScript(ops []wheelOp) string {
+	w := applyScript(New(42), ops)
+	h := applyScript(NewHeapOnly(42), ops)
+	if len(w) != len(h) {
+		return fmt.Sprintf("transcript lengths differ: wheel %d, heap %d", len(w), len(h))
+	}
+	for i := range w {
+		if w[i] != h[i] {
+			return fmt.Sprintf("entry %d: wheel %q, heap %q", i, w[i], h[i])
+		}
+	}
+	return ""
+}
+
+// randScript generates an op sequence whose delays cover every tier
+// boundary: same-instant ties (0), the open bucket window, the wheel
+// horizon, and far-tier overflow, with coarse quantization so distinct
+// ops frequently collide on the same timestamp and exercise the FIFO
+// tie-break.
+func randScript(rng *rand.Rand, n int) []wheelOp {
+	ranges := []units.Time{
+		0,                // same-instant ties
+		bucketW,          // inside the open window
+		16 * bucketW,     // short wheel hop
+		horizonW,         // anywhere on the wheel
+		3 * horizonW / 2, // beyond the horizon: far tier
+	}
+	ops := make([]wheelOp, n)
+	for i := range ops {
+		r := ranges[rng.Intn(len(ranges))]
+		var d units.Time
+		if r > 0 {
+			d = units.Time(rng.Int63n(int64(r)))
+			if rng.Intn(2) == 0 {
+				d &^= 255 // quantize to force timestamp collisions
+			}
+		}
+		ops[i] = wheelOp{kind: uint8(rng.Intn(6)), delay: d, tm: rng.Intn(wheelScriptTimers)}
+	}
+	return ops
+}
+
+// TestWheelMatchesHeapReference is the equivalence property test: random
+// schedule/Reset/Stop/advance sequences must dispatch identically — same
+// order, same clocks, same Pending counts — on the wheel and the
+// reference heap.
+func TestWheelMatchesHeapReference(t *testing.T) {
+	iters, n := 300, 120
+	if testing.Short() {
+		iters = 60
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ops := randScript(rng, n)
+		if d := diffScript(ops); d != "" {
+			t.Fatalf("seed %d: wheel diverged from heap reference: %s", seed, d)
+		}
+	}
+}
+
+// FuzzWheelVsHeap decodes arbitrary bytes into an op script and asserts
+// wheel/heap transcript equality. Three bytes per op: kind, and a 16-bit
+// delay seed stretched across the tier ranges by its low bits.
+func FuzzWheelVsHeap(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 5, 2, 0, 3, 255, 255})
+	f.Add([]byte{1, 0, 4, 3, 12, 0, 5, 0, 64, 4, 0, 0})
+	f.Add([]byte{2, 7, 7, 5, 255, 0, 0, 0, 0, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*512 {
+			data = data[:3*512]
+		}
+		var ops []wheelOp
+		for i := 0; i+2 < len(data); i += 3 {
+			raw := units.Time(data[i+1])<<8 | units.Time(data[i+2])
+			var d units.Time
+			switch data[i] % 4 {
+			case 0:
+				d = raw % bucketW
+			case 1:
+				d = (raw * 16) % horizonW
+			case 2:
+				d = raw * units.Time(1) << 10 // up to ~4 horizons out
+			case 3:
+				d = (raw &^ 255) % (4 * bucketW) // tie-heavy
+			}
+			ops = append(ops, wheelOp{kind: data[i] % 6, delay: d, tm: int(data[i+1]) % wheelScriptTimers})
+		}
+		if d := diffScript(ops); d != "" {
+			t.Fatalf("wheel diverged from heap reference: %s", d)
+		}
+	})
+}
+
+// TestWheelScheduleZeroAllocs pins the scheduler's steady-state
+// allocation count at zero: events are pointer-free PODs, callbacks park
+// in recycled slots, and the wheel's bucket arrays rotate — so once the
+// arrays are warm, schedule/dispatch/cancel cycles on every tier must not
+// allocate at all.
+func TestWheelScheduleZeroAllocs(t *testing.T) {
+	s := New(1)
+	n := 0
+	fn := func() { n++ }
+	// Warm every array: buckets, dispatch list, both heaps, the slot table.
+	for i := 0; i < 20000; i++ {
+		s.After(units.Time(i%4000), fn)
+	}
+	tm := s.NewTimer(fn)
+	tm.Reset(2 * horizonW)
+	s.Run()
+	tm.Stop()
+
+	if a := testing.AllocsPerRun(2000, func() {
+		s.After(100, fn)        // near tier
+		s.After(16*bucketW, fn) // wheel tier
+		s.After(2*horizonW, fn) // far tier
+		s.RunUntil(s.Now() + 3*horizonW)
+	}); a != 0 {
+		t.Fatalf("schedule/dispatch allocates %v allocs/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(2000, func() {
+		tm.Reset(8 * bucketW)  // wheel: O(1) insert
+		tm.Reset(200)          // near heap relocate
+		tm.Reset(2 * horizonW) // far heap relocate
+		tm.Stop()
+	}); a != 0 {
+		t.Fatalf("timer reset/stop allocates %v allocs/op, want 0", a)
+	}
+	id := s.Register(fn)
+	if a := testing.AllocsPerRun(2000, func() {
+		s.AtSeqID(s.Now()+bucketW, s.ReserveSeq(), id)
+		s.RunUntil(s.Now() + 2*bucketW)
+	}); a != 0 {
+		t.Fatalf("AtSeqID arm/dispatch allocates %v allocs/op, want 0", a)
+	}
+}

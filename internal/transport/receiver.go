@@ -121,7 +121,7 @@ func (r *Receiver) onData(pkt *fabric.Packet) {
 
 // tcpRx is the TCP receive path proper (below it sits the shim, if any).
 func (r *Receiver) tcpRx(s gro.Segment) {
-	r.lastDataTS = s.Payload.(units.Time)
+	r.lastDataTS = s.Payload
 	if r.batcher != nil {
 		r.batcher.Push(s.Seq, s.Len)
 	}
