@@ -148,6 +148,9 @@ func (s *ClusterStats) FlowsFinished() int64 { return s.c.reg.Stats.FlowsFinishe
 // Retransmits reports total TCP segment retransmissions.
 func (s *ClusterStats) Retransmits() int64 { return s.c.reg.Stats.Retransmits }
 
+// Delivered reports total packets handed to destination hosts.
+func (s *ClusterStats) Delivered() int64 { return s.c.net.Delivered }
+
 // Drops reports total packets dropped in the fabric.
 func (s *ClusterStats) Drops() int64 { return s.c.net.Hops.TotalDrops() }
 

@@ -5,6 +5,7 @@
 //
 //	drillsim -list
 //	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-workers 4] [-q]
+//	drillsim -exp fig6a -shards 4   (sharded parallel engine; output is byte-identical)
 //	drillsim -exp qtrace -trace events.csv [-trace-sample 10us]
 //	drillsim -exp fig6a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	drillsim -exp fig11 -metrics-addr :9137 -progress -manifest fig11.manifest.json
@@ -58,6 +59,7 @@ func main() {
 		loads   = flag.String("loads", "", "comma-separated load override, e.g. 0.1,0.5,0.8")
 		reps    = flag.Int("reps", 1, "replications per sweep cell (pooled samples)")
 		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
+		shards  = flag.Int("shards", 0, "shards per simulation run on the parallel engine (0 = sequential engine); results are byte-identical at any value")
 		format  = flag.String("format", "table", "output format: table | csv | json")
 		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
 
@@ -129,7 +131,17 @@ func main() {
 		}()
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Workers: resolved}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "drillsim: -shards must be >= 0 (got %d)\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 0 && *traceOut != "" {
+		// Full-kind tracing is a sequential-engine feature; a sharded run
+		// only admits the sampler kinds (see RunCfg.Shards).
+		fmt.Fprintf(os.Stderr, "drillsim: -shards is ignored with -trace (traced runs use the sequential engine)\n")
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Workers: resolved, Shards: *shards}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

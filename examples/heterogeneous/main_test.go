@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"drill"
+)
+
+// TestHeterogeneousSmoke runs the example's imbalanced-striping fabric at
+// a short horizon for every scheme it compares, asserting traffic crosses
+// the parallel-link topology under each.
+func TestHeterogeneousSmoke(t *testing.T) {
+	const horizon = 1 * drill.Millisecond
+	for _, cfg := range []struct {
+		name string
+		bal  drill.Balancer
+		shim drill.Time
+	}{
+		{"WCMP", drill.WCMP(), 0},
+		{"Presto", drill.Presto(), 100 * drill.Microsecond},
+		{"CONGA", drill.CONGA(), 0},
+		{"DRILL", drill.DRILL(), 100 * drill.Microsecond},
+	} {
+		c := drill.NewCluster(drill.Heterogeneous(6, 16, 12), drill.Options{
+			Balancer: cfg.bal, Seed: 21, ShimTimeout: cfg.shim,
+		})
+		c.MeasureFrom(500 * drill.Microsecond)
+		c.OfferLoad(0.6, drill.FacebookCache, horizon)
+		c.Run(horizon + 2*drill.Millisecond)
+		if d := c.Stats().Delivered(); d == 0 {
+			t.Errorf("%s: no packets delivered", cfg.name)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"drill"
+)
+
+// TestIncastSmoke runs the example's many-to-few scenario at a short
+// horizon for every scheme the example compares, and asserts packets are
+// delivered and incast flows complete.
+func TestIncastSmoke(t *testing.T) {
+	const horizon = 2 * drill.Millisecond
+	for _, cfg := range []struct {
+		name string
+		bal  drill.Balancer
+		shim drill.Time
+	}{
+		{"ECMP", drill.ECMP(), 0},
+		{"Presto", drill.Presto(), 100 * drill.Microsecond},
+		{"CONGA", drill.CONGA(), 0},
+		{"DRILL", drill.DRILL(), 100 * drill.Microsecond},
+	} {
+		c := drill.NewCluster(drill.LeafSpine(4, 8, 20), drill.Options{
+			Balancer: cfg.bal, Seed: 7, ShimTimeout: cfg.shim, QueueCap: 128,
+		})
+		c.MeasureFrom(500 * drill.Microsecond)
+		c.OfferLoad(0.2, drill.FacebookCache, horizon)
+		c.StartIncast(1*drill.Millisecond, horizon)
+		c.Run(horizon + 2*drill.Millisecond)
+		if d := c.Stats().Delivered(); d == 0 {
+			t.Errorf("%s: no packets delivered", cfg.name)
+		}
+		if n := c.Stats().FCT("incast").Count(); n == 0 {
+			t.Errorf("%s: no incast flows completed", cfg.name)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"drill"
+)
+
+// TestQuickstartSmoke runs the example's scenario — both schemes on the
+// leaf–spine fabric under offered load — at a short horizon and asserts
+// the fabric actually delivered traffic. A broken example would still
+// compile; this catches it producing an empty table.
+func TestQuickstartSmoke(t *testing.T) {
+	const horizon = 1 * drill.Millisecond
+	for _, cfg := range []struct {
+		name string
+		bal  drill.Balancer
+		shim drill.Time
+	}{
+		{"ECMP", drill.ECMP(), 0},
+		{"DRILL", drill.DRILL(), 100 * drill.Microsecond},
+	} {
+		c := drill.NewCluster(drill.LeafSpine(4, 8, 20), drill.Options{
+			Balancer: cfg.bal, Seed: 42, ShimTimeout: cfg.shim,
+		})
+		c.MeasureFrom(500 * drill.Microsecond)
+		c.OfferLoad(0.8, drill.FacebookCache, horizon)
+		c.Run(horizon + 2*drill.Millisecond)
+		if d := c.Stats().Delivered(); d == 0 {
+			t.Errorf("%s: no packets delivered", cfg.name)
+		}
+		if n := c.Stats().FlowsFinished(); n == 0 {
+			t.Errorf("%s: no flows finished", cfg.name)
+		}
+	}
+}

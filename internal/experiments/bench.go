@@ -52,11 +52,42 @@ func BenchCells(seed int64) []BenchCell {
 	}
 }
 
+// BenchShardCells returns the sharded-engine cells: a k=16 fat-tree
+// (1024 hosts, 320 switches) under DRILL at 50% load, run sequentially and
+// at 4 and 8 shards. The sequential/sharded pairs share a seed, so their
+// event counts must match exactly (the conformance suite proves the full
+// results do); the events/s ratio between them is the aggregate speedup
+// the shard rows of BENCH_shard.json track. On a single-core runner the
+// ratio degenerates to the window protocol's overhead (≈1.0×); on the
+// multi-core machines CI uses it is the parallel scaling number.
+func BenchShardCells(seed int64) []BenchCell {
+	sc, ok := SchemeByName("DRILL")
+	if !ok {
+		panic("experiments: DRILL scheme missing")
+	}
+	mk := func(name string, shards int) BenchCell {
+		return BenchCell{Name: name, Cfg: RunCfg{
+			Topo: func() *topo.Topology {
+				return topo.FatTree(topo.FatTreeConfig{K: 16, LinkRate: 10 * units.Gbps})
+			},
+			Scheme: sc, Seed: seed, Load: 0.5, Shards: shards,
+			Warmup:  100 * units.Microsecond,
+			Measure: 300 * units.Microsecond,
+		}}
+	}
+	return []BenchCell{
+		mk("fattree16-seq", 0),
+		mk("fattree16-shards4", 4),
+		mk("fattree16-shards8", 8),
+	}
+}
+
 // BenchCellResult is one cell's measurements.
 type BenchCellResult struct {
 	Name   string  `json:"name"`
 	Scheme string  `json:"scheme"`
 	Load   float64 `json:"load"`
+	Shards int     `json:"shards,omitempty"` // 0 = sequential engine
 
 	Events       uint64  `json:"events"`
 	WallNs       int64   `json:"wall_ns"`
@@ -89,6 +120,12 @@ type MicroAllocs struct {
 	// schedules for it (enqueue visibility, txDone, arrive). This is the
 	// whole per-packet event cost, the number future PRs should shrink.
 	SendDeliver float64 `json:"send_deliver"`
+	// ShardWindow: one cross-shard packet delivered through a warm 2-shard
+	// fabric via the window protocol — ~25 barriers (worker handoffs,
+	// outbox→ring exchange, callback re-arms) per operation. Pinned at
+	// zero by the shard alloc-ceiling test: the barrier path reuses its
+	// outboxes, rings, and interned events at steady state.
+	ShardWindow float64 `json:"shard_window"`
 }
 
 // BenchReport is the BENCH_*.json document.
@@ -147,6 +184,7 @@ func RunBenchCell(c BenchCell) BenchCellResult {
 		Name:   c.Name,
 		Scheme: cfg.Scheme.Name,
 		Load:   cfg.Load,
+		Shards: cfg.Shards,
 
 		Events: res.Events,
 		WallNs: wall.Nanoseconds(),
@@ -182,7 +220,7 @@ func RunBench(seed int64, progress func(format string, args ...any)) BenchReport
 		Seed:       seed,
 	}
 	rep.Provenance = obs.NewManifest("drillbench", seed)
-	for _, c := range BenchCells(seed) {
+	for _, c := range append(BenchCells(seed), BenchShardCells(seed)...) {
 		r := RunBenchCell(c)
 		if progress != nil {
 			progress("%-14s %8.3g ev/s  %6.1f ns/ev  %6.3f allocs/ev  peak %5.1f MB",
@@ -252,5 +290,64 @@ func BenchMicroAllocs() MicroAllocs {
 		send() // warm queues, heap, and pool
 		m.SendDeliver = testing.AllocsPerRun(500, send)
 	}
+
+	// One window-protocol round trip across a warm 2-shard fabric. Warm-up
+	// must cover one full timing-wheel revolution (~4.2ms of sim time, ~850
+	// ops at 5µs each) so every calendar bucket of every shard's wheel has
+	// grown its high-water array; only then does a remaining allocation
+	// belong to the barrier path rather than to wheel warm-up.
+	{
+		op, done := shardWindowOp()
+		for i := 0; i < 5000; i++ {
+			op()
+		}
+		m.ShardWindow = testing.AllocsPerRun(500, op)
+		done()
+	}
 	return m
+}
+
+// shardWindowOp builds a minimal 2-shard fabric (two leaves with one host
+// each, one spine) and returns an operation that sends one packet in each
+// direction between the shards and runs the window protocol until both
+// deliver — every op crosses the shard boundary twice and passes ~25
+// barriers. Packets are sent pairwise so the domain pools exchange
+// retired packets symmetrically and neither ever grows. The second return
+// stops the shard workers.
+func shardWindowOp() (op func(), done func()) {
+	sc, _ := SchemeByName("ECMP")
+	tp := topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 1, Leaves: 2, HostsPerLeaf: 1,
+		CoreRate: 10 * units.Gbps, HostRate: 10 * units.Gbps,
+	})
+	assign, nsh := tp.Partition(2)
+	global := sim.New(1)
+	shards := make([]*sim.Sim, nsh)
+	for i := range shards {
+		shards[i] = sim.New(1)
+	}
+	net := fabric.NewSharded(global, shards, assign, tp, fabric.Config{Balancer: sc.New()})
+	group := &sim.ShardGroup{
+		Global: global, Shards: shards,
+		Lookahead: net.ShardLookahead(), Exchange: net.ExchangeShards,
+	}
+	group.Start()
+
+	a, b := net.Host(tp.Hosts[0]), net.Host(tp.Hosts[1])
+	send := func(src *fabric.Host, dst topo.NodeID) {
+		pkt := src.AllocPacket()
+		pkt.FlowID = 1
+		pkt.Hash = 7
+		pkt.Dst = dst
+		pkt.Size = 1518 * units.Byte
+		src.Send(pkt)
+	}
+	next := global.Now()
+	op = func() {
+		send(a, b.ID)
+		send(b, a.ID)
+		next += 5 * units.Microsecond
+		group.RunUntil(next)
+	}
+	return op, group.Close
 }

@@ -119,6 +119,7 @@ func DiffBench(baseline, current *BenchReport) *BenchDiff {
 		{"micro.timer_reset_stop", baseline.Micro.TimerResetStop, current.Micro.TimerResetStop},
 		{"micro.pool_get_put", baseline.Micro.PoolGetPut, current.Micro.PoolGetPut},
 		{"micro.send_deliver", baseline.Micro.SendDeliver, current.Micro.SendDeliver},
+		{"micro.shard_window", baseline.Micro.ShardWindow, current.Micro.ShardWindow},
 	}
 	for _, m := range micro {
 		add(BenchFinding{Cell: "micro", Metric: m.name, Baseline: m.base, Current: m.cu,

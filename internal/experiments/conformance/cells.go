@@ -1,0 +1,52 @@
+package conformance
+
+import (
+	"drill/internal/experiments"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// confTopo is the conformance fabric: the Fig. 6 leaf–spine at its paper
+// scale (4 spines, 8 leaves × 20 hosts, 10G edge / 40G core). Eight leaves
+// partition evenly at every shard count the tests sweep (1, 2, 4, 8).
+func confTopo() *topo.Topology {
+	return topo.LeafSpine(topo.LeafSpineConfig{
+		Spines: 4, Leaves: 8, HostsPerLeaf: 20,
+		HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps,
+	})
+}
+
+// Cells returns the conformance grid: the tiny scheme × seed sweep plus a
+// drop-heavy cell and a mid-run link-failure cell, so the compared paths
+// include overflow drops, retransmissions, dead-link drains, and
+// reconvergence — every code path a shard boundary could reorder, not just
+// happy-path delivery. Mirrors the grid the sequential determinism tests
+// pin, rebuilt here on exported topology constructors.
+func Cells() []experiments.RunCfg {
+	var cells []experiments.RunCfg
+	for si, name := range []string{"ECMP", "DRILL", "Random"} {
+		sc, _ := experiments.SchemeByName(name)
+		for seed := int64(1); seed <= 2; seed++ {
+			cells = append(cells, experiments.RunCfg{
+				Topo: confTopo, Scheme: sc,
+				Seed: seed + int64(si*100), Load: 0.3,
+				Warmup:  100 * units.Microsecond,
+				Measure: 400 * units.Microsecond,
+			})
+		}
+	}
+	lossy, _ := experiments.SchemeByName("ECMP")
+	cells = append(cells, experiments.RunCfg{
+		Topo: confTopo, Scheme: lossy, Seed: 11, Load: 0.9, QueueCap: 8,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	})
+	fail, _ := experiments.SchemeByName("DRILL")
+	cells = append(cells, experiments.RunCfg{
+		Topo: confTopo, Scheme: fail, Seed: 12, Load: 0.5,
+		FailLinks: 1, FailAt: 200 * units.Microsecond,
+		Warmup:  100 * units.Microsecond,
+		Measure: 400 * units.Microsecond,
+	})
+	return cells
+}

@@ -1,0 +1,167 @@
+// Package conformance proves engine variants of the simulator equivalent:
+// it reduces a run's every externally observable result — delivery, drop,
+// and reordering totals, the full FCT distributions, per-hop telemetry,
+// trace counts, and obs snapshots — to a deterministic fingerprint string,
+// and diffs fingerprints across engines. The sharded parallel engine
+// (RunCfg.Shards) is held byte-identical to the sequential engine at every
+// shard count by the tests in this package and by the nightly
+// FuzzShardedVsSequential.
+//
+// Fingerprints deliberately contain no insertion-order float sums: a
+// sharded run folds per-shard sample sets in shard-ID order, so a multiset
+// of float samples is engine-invariant but its running sum (and therefore
+// a mean) can differ in the last ulp. Distributions are compared by count,
+// order statistics, and a hash over the sorted samples instead — exact
+// equality on strictly more information than a mean, without the
+// fold-order sensitivity.
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drill/internal/experiments"
+	"drill/internal/metrics"
+	"drill/internal/obs"
+	"drill/internal/trace"
+	"drill/internal/units"
+)
+
+// Options selects the instrumentation attached to every engine variant of
+// a diffed cell, so the comparison covers the observation planes too.
+type Options struct {
+	// Trace attaches a counting tracer restricted to the sampler kinds
+	// (the only kinds a sharded run may enable) plus a 20µs trace sampler,
+	// and appends per-kind event counts to the fingerprint.
+	Trace bool
+	// Obs attaches a metrics registry with a 50µs snapshotter and appends
+	// the final snapshot (scrubbed of order-dependent histogram sums) to
+	// the fingerprint.
+	Obs bool
+}
+
+// Fingerprint renders the engine-invariant results of a finished run.
+func Fingerprint(res *experiments.RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "delivered=%d flows=%d events=%d drops=%d retx=%d rto=%d ooo=%d gro=%d/%d gets=%d\n",
+		res.Delivered, res.Flows, res.Events, res.Drops, res.Retransmits,
+		res.Timeouts, res.OutOfOrder, res.GROBatches, res.GROSegments, res.PacketGets)
+	fmt.Fprintf(&b, "fct %s\n", distLine(res.FCT))
+	classes := make([]string, 0, len(res.Classes))
+	for c := range res.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "fct[%s] %s\n", c, distLine(res.Classes[c]))
+	}
+	fmt.Fprintf(&b, "dupacks %s\nreorders %s\n", histLine(res.DupAcks), histLine(res.WireReorders))
+	fmt.Fprintf(&b, "hops q=%v n=%v d=%v\n", res.Hops.QueueingNs, res.Hops.Packets, res.Hops.Drops)
+	fmt.Fprintf(&b, "stdv up=%g down=%g util=%g elephant=%g\n",
+		res.UplinkSTDV, res.DownlinkSTDV, res.CoreUtil, res.ElephantGbps)
+	return b.String()
+}
+
+// distLine renders a sample distribution without its insertion-order sum:
+// count, the order statistics the reports read, and a hash of the sorted
+// sample multiset (exact to the bit, fold-order independent).
+func distLine(d *metrics.Dist) string {
+	return fmt.Sprintf("n=%d min=%g p50=%g p90=%g p99=%g max=%g h=%016x",
+		d.Count(), d.Min(), d.Percentile(50), d.Percentile(90),
+		d.Percentile(99), d.Max(), d.HashSorted())
+}
+
+// histLine renders an integer histogram exactly, bucket by bucket.
+func histLine(h *metrics.IntHist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d [", h.Count())
+	for v := 0; v <= h.Max(); v++ {
+		if v > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", h.Bucket(v))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// TraceLine renders a tracer's accepted-event counts per kind.
+func TraceLine(tr *trace.Tracer) string {
+	var b strings.Builder
+	b.WriteString("trace")
+	for k := trace.Kind(0); k < trace.NumKinds; k++ {
+		fmt.Fprintf(&b, " %s=%d", k, tr.Count(k))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ObsLines renders an obs snapshot: capture time and every series' value,
+// with histograms expanded to exact bucket counts and their float Sum
+// omitted (it accumulates by CAS in observation order, the one obs
+// quantity that is a multiset's running float sum rather than an integer
+// or a pointwise read).
+func ObsLines(s *obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "obs t=%d\n", int64(s.SimTime))
+	for i := range s.Points {
+		p := &s.Points[i]
+		if p.Hist != nil {
+			fmt.Fprintf(&b, "%s{%s} count=%d buckets=%v\n", p.Name, p.Labels, p.Hist.Count, p.Hist.Buckets)
+			continue
+		}
+		fmt.Fprintf(&b, "%s{%s} %g\n", p.Name, p.Labels, p.Value)
+	}
+	return b.String()
+}
+
+// FingerprintCfg executes one engine variant of cfg with opt's
+// instrumentation freshly attached and returns its full fingerprint.
+func FingerprintCfg(cfg experiments.RunCfg, opt Options) string {
+	var tr *trace.Tracer
+	if opt.Trace {
+		tr = trace.New(nil, trace.WithKinds(trace.QueueSample, trace.PortUtil))
+		cfg.Tracer = tr
+		cfg.TraceSample = 20 * units.Microsecond
+	}
+	var reg *obs.Registry
+	if opt.Obs {
+		reg = obs.NewRegistry(8)
+		cfg.Obs = reg
+		cfg.ObsScope = `conf="cell"`
+		cfg.ObsSample = 50 * units.Microsecond
+	}
+	fp := Fingerprint(experiments.Run(cfg))
+	if tr != nil {
+		fp += TraceLine(tr)
+	}
+	if reg != nil {
+		fp += ObsLines(reg.Latest())
+	}
+	return fp
+}
+
+// Diff runs cfg on the sequential engine and on the sharded engine at each
+// of shardCounts, and returns one report per diverging variant (empty
+// means every variant was byte-identical). cfg.Shards is overridden per
+// variant; instrumentation objects must not be pre-attached to cfg — pass
+// them through opt so every variant gets a fresh set.
+func Diff(cfg experiments.RunCfg, shardCounts []int, opt Options) []string {
+	if cfg.Tracer != nil || cfg.Obs != nil {
+		panic("conformance: attach instrumentation via Options, not RunCfg")
+	}
+	seq := cfg
+	seq.Shards = 0
+	want := FingerprintCfg(seq, opt)
+	var diffs []string
+	for _, n := range shardCounts {
+		v := cfg
+		v.Shards = n
+		if got := FingerprintCfg(v, opt); got != want {
+			diffs = append(diffs, fmt.Sprintf("shards=%d diverges from sequential:\n--- sequential\n%s--- shards=%d\n%s",
+				n, want, n, got))
+		}
+	}
+	return diffs
+}

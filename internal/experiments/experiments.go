@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"drill/internal/fabric"
 	"drill/internal/obs"
 	"drill/internal/trace"
 	"drill/internal/units"
@@ -42,6 +43,13 @@ type Options struct {
 	// fan-out pool serializes calls, so the callback may touch shared
 	// state without locking.
 	Progress func(format string, args ...any)
+
+	// Shards > 0 runs every sweep cell on the sharded parallel engine with
+	// that many shards (see RunCfg.Shards); results are byte-identical to
+	// the sequential engine at any shard count. Ignored when a TraceSink
+	// is attached: full-kind tracing is a sequential-engine feature, and
+	// -trace runs double as the determinism reference.
+	Shards int
 
 	// TraceSink, when non-nil, streams every run's packet-lifecycle events
 	// into the sink, each run tagged with its cell index. Tracing forces
@@ -106,6 +114,19 @@ func (o *Options) runAll(cfgs []RunCfg, done func(i int, res *RunResult)) []*Run
 			if cfgs[i].Tracer == nil {
 				cfgs[i].Tracer = trace.New(o.TraceSink, trace.WithRun(int32(i)))
 				cfgs[i].TraceSample = o.TraceSample
+			}
+		}
+	}
+	if o.Shards > 0 && o.TraceSink == nil {
+		// Shard-unsafe balancers (CONGA's global feedback, Presto's send
+		// hook, ...) keep the sequential engine; because both engines
+		// produce identical bytes, a sweep mixing engines per cell is
+		// still one coherent report.
+		for i := range cfgs {
+			if cfgs[i].Shards == 0 && cfgs[i].Scheme.New != nil {
+				if _, unsafe := cfgs[i].Scheme.New().(fabric.ShardUnsafe); !unsafe {
+					cfgs[i].Shards = o.Shards
+				}
 			}
 		}
 	}

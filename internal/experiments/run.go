@@ -72,6 +72,18 @@ type RunCfg struct {
 	// remains available for bisecting scheduler suspicions.
 	LegacyScheduler bool
 
+	// Shards > 0 runs this simulation on the sharded parallel engine:
+	// the topology is partitioned into up to that many per-leaf-group
+	// shards (topo.Partition), each owning a private scheduler driven by
+	// one worker goroutine, synchronized by the conservative time-window
+	// protocol in sim.ShardGroup. Results are byte-identical to Shards=0
+	// (the sequential engine) at any shard count — the conformance
+	// harness in this package holds every supported cell shape to that.
+	// Mutually exclusive with LegacyScheduler; the balancer must not be
+	// fabric.ShardUnsafe; an attached Tracer may only enable the
+	// barrier-driven sampler kinds (QueueSample, PortUtil).
+	Shards int
+
 	// SampleQueues enables the 10µs queue-length STDV sampler of §3.2.3.
 	SampleQueues bool
 	// TrackGRO enables GRO batch accounting.
@@ -119,6 +131,10 @@ type RunResult struct {
 	// time-averaged standard deviation of leaf-uplink queue lengths and of
 	// spine-downlink-per-leaf queue lengths, in packets.
 	UplinkSTDV, DownlinkSTDV float64
+
+	// Delivered counts packets handed to destination hosts (folded across
+	// shards under the sharded engine).
+	Delivered int64
 
 	Flows       int64
 	Drops       int64
@@ -180,9 +196,12 @@ func Run(cfg RunCfg) *RunResult {
 	t := cfg.Topo()
 	s := sim.New(cfg.Seed)
 	if cfg.LegacyScheduler {
+		if cfg.Shards > 0 {
+			panic("experiments: LegacyScheduler and Shards are mutually exclusive")
+		}
 		s = sim.NewHeapOnly(cfg.Seed)
 	}
-	net := fabric.New(s, t, fabric.Config{
+	fcfg := fabric.Config{
 		Balancer:     cfg.Scheme.New(),
 		Engines:      cfg.Engines,
 		QueueCap:     cfg.QueueCap,
@@ -190,7 +209,40 @@ func Run(cfg RunCfg) *RunResult {
 		DisablePool:  cfg.DisablePool,
 		DisableBatch: cfg.LegacyScheduler,
 		Tracer:       cfg.Tracer,
-	})
+	}
+	var net *fabric.Network
+	var group *sim.ShardGroup
+	if cfg.Shards > 0 {
+		if cfg.Tracer != nil {
+			for k := trace.Kind(0); k < trace.NumKinds; k++ {
+				if k == trace.QueueSample || k == trace.PortUtil {
+					continue
+				}
+				if cfg.Tracer.Enabled(k) {
+					panic("experiments: sharded runs only support the sampler trace kinds (queue-sample, port-util); restrict the tracer with trace.WithKinds")
+				}
+			}
+		}
+		// s stays the global (barrier) scheduler; the data plane runs on
+		// one private scheduler per shard, all sharing the seed so derived
+		// random streams are engine-invariant.
+		assign, nsh := t.Partition(cfg.Shards)
+		shards := make([]*sim.Sim, nsh)
+		for i := range shards {
+			shards[i] = sim.New(cfg.Seed)
+		}
+		net = fabric.NewSharded(s, shards, assign, t, fcfg)
+		group = &sim.ShardGroup{
+			Global:    s,
+			Shards:    shards,
+			Lookahead: net.ShardLookahead(),
+			Exchange:  net.ExchangeShards,
+		}
+		group.Start()
+		defer group.Close()
+	} else {
+		net = fabric.New(s, t, fcfg)
+	}
 	if cfg.Tracer != nil && cfg.TraceSample > 0 {
 		fabric.StartTraceSampler(net, cfg.TraceSample)
 	}
@@ -215,8 +267,14 @@ func Run(cfg RunCfg) *RunResult {
 		// sweep's total event count whether cells are finished or mid-run.
 		ev := cfg.Obs.Gauge("drill_run_events", cfg.ObsScope,
 			"Events dispatched so far by this run; settles at the run's total.")
+		executed := func() uint64 { return s.Executed }
+		if group != nil {
+			// Observer ticks fire at barriers with every shard parked, so
+			// summing the shard counters there is race-free.
+			executed = group.Executed
+		}
 		snap = obs.StartSnapshotter(s, cfg.Obs, every, fm.Refresh, func(units.Time) {
-			ev.Set(float64(s.Executed))
+			ev.Set(float64(executed()))
 		})
 	}
 
@@ -226,7 +284,9 @@ func Run(cfg RunCfg) *RunResult {
 	}
 	if cfg.FailLinks > 0 && cfg.FailAt > 0 {
 		at := cfg.FailAt
-		s.At(at, func() {
+		// Failure injection drains ports across the whole fabric: a
+		// barrier-class event under the sharded engine.
+		s.AtGlobal(at, func() {
 			failRandomUplinks(t, net, cfg.FailLinks, cfg.Seed, cfg.InstantReconverge)
 		})
 	}
@@ -266,20 +326,30 @@ func Run(cfg RunCfg) *RunResult {
 	// achieved-utilization metric.
 	uplinks := allLeafUplinks(net)
 	var txAtWarmup, txAtEnd int64
-	s.At(cfg.Warmup, func() {
+	// Global class: the snapshots read ports across every shard, which is
+	// only legal at a barrier.
+	s.AtGlobal(cfg.Warmup, func() {
 		for _, p := range uplinks {
 			txAtWarmup += p.TxBytes
 		}
 	})
-	s.At(end, func() {
+	s.AtGlobal(end, func() {
 		for _, p := range uplinks {
 			txAtEnd += p.TxBytes
 		}
 	})
 
-	s.RunUntil(end)
-	// Let measured in-flight flows drain so tail FCTs are complete.
-	s.RunUntil(end + cfg.DrainLimit)
+	if group != nil {
+		group.RunUntil(end)
+		// Let measured in-flight flows drain so tail FCTs are complete.
+		group.RunUntil(end + cfg.DrainLimit)
+		group.Close()
+		net.FoldShards()
+		reg.Fold()
+	} else {
+		s.RunUntil(end)
+		s.RunUntil(end + cfg.DrainLimit)
+	}
 	s.Halt()
 	if snap != nil {
 		// Publish the terminal state even if the run ended mid-interval.
@@ -302,6 +372,7 @@ func Run(cfg RunCfg) *RunResult {
 		DupAcks:      &reg.Stats.DupAcks,
 		WireReorders: &reg.Stats.WireReorders,
 		Hops:         &net.Hops,
+		Delivered:    net.Delivered,
 		Flows:        reg.Stats.FlowsStarted,
 		Drops:        net.Hops.TotalDrops(),
 		Retransmits:  reg.Stats.Retransmits,
@@ -310,7 +381,7 @@ func Run(cfg RunCfg) *RunResult {
 		GROBatches:   reg.Stats.GROBatches,
 		GROSegments:  reg.Stats.GROSegments,
 		CoreUtil:     coreUtil,
-		Events:       s.Executed,
+		Events:       runExecuted(s, group),
 		PacketGets:   net.Pool().Gets,
 		PacketAllocs: net.Pool().News,
 		Wall:         time.Since(started), //drill:allow simtime wall timing of the whole run for RunResult.Wall, never a sim timestamp
@@ -369,6 +440,7 @@ func provConfig(cfg RunCfg) any {
 		TrackGRO          bool
 		VisFactor         float64
 		Synthetic         bool
+		Shards            int
 	}{
 		Scheme: cfg.Scheme.Name, Shim: int64(cfg.Scheme.Shim), Seed: cfg.Seed,
 		Engines: cfg.Engines, QueueCap: cfg.QueueCap, Load: cfg.Load,
@@ -378,7 +450,18 @@ func provConfig(cfg RunCfg) any {
 		InstantReconverge: cfg.InstantReconverge, DisablePool: cfg.DisablePool,
 		SampleQueues: cfg.SampleQueues, TrackGRO: cfg.TrackGRO,
 		VisFactor: cfg.VisFactor, Synthetic: cfg.Synthetic != nil,
+		Shards: cfg.Shards,
 	}
+}
+
+// runExecuted reports the run's dispatched-event total: the one scheduler's
+// count sequentially, the global+shard sum under the sharded engine (the
+// event-to-scheduler mapping is one-to-one, so the totals agree).
+func runExecuted(s *sim.Sim, group *sim.ShardGroup) uint64 {
+	if group != nil {
+		return group.Executed()
+	}
+	return s.Executed
 }
 
 // allLeafUplinks collects every leaf's fabric-facing output ports.

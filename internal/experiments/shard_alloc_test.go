@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestShardBarrierAllocFree pins the window protocol's steady-state
+// allocation ceiling at zero: once outboxes, wire rings, event pools, and
+// both domains' packet pools are warm, a cross-shard delivery — two
+// boundary crossings and ~25 window barriers per operation — may not
+// allocate at all. The barrier machinery (worker command channels,
+// WaitGroup handoffs, outbox→ring exchange, arrival re-arms) must run
+// entirely on reused storage; a single allocation per op here multiplies
+// into millions over a scale run, so this is a ceiling, not a target.
+func TestShardBarrierAllocFree(t *testing.T) {
+	op, done := shardWindowOp()
+	defer done()
+	// Warm until everything reaches its steady exchange: retired packets
+	// settle into the opposite domain's free list, ring/outbox backing
+	// arrays reach their high-water capacity, and — the slow part — each
+	// shard's timing wheel completes a full revolution (~4.2ms of sim
+	// time) so every calendar bucket's array has grown once.
+	for i := 0; i < 5000; i++ {
+		op()
+	}
+	if allocs := testing.AllocsPerRun(500, op); allocs != 0 {
+		t.Errorf("cross-shard send+window barrier path allocates %.2f/op at steady state, want 0", allocs)
+	}
+}

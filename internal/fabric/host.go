@@ -18,6 +18,10 @@ type Host struct {
 	Leaf topo.NodeID
 	NIC  *Port
 
+	// dom is the shard domain owning this host's events, pool and stats;
+	// it always matches the host's leaf (NewSharded enforces that).
+	dom *domain
+
 	// Handler receives packets addressed to this host.
 	Handler PacketHandler
 }
@@ -25,13 +29,20 @@ type Host struct {
 // Net returns the network the host is attached to.
 func (h *Host) Net() *Network { return h.net }
 
-// AllocPacket returns a zeroed packet from the network's recycling pool
-// (or a fresh allocation under Config.DisablePool). The transport layer
-// fills it and hands it back via Send; the fabric recycles it at its
-// terminal site (delivery or drop).
+// AllocPacket returns a zeroed packet from the host's domain pool (or a
+// fresh allocation under Config.DisablePool). The transport layer fills it
+// and hands it back via Send; the fabric recycles it at its terminal site
+// (delivery or drop), which under sharding is always a pool of the same
+// or another domain — pools never shrink, so cross-domain retirement only
+// shifts where recycled packets come from, never correctness.
 //
 //drill:hotpath
-func (h *Host) AllocPacket() *Packet { return h.net.AllocPacket() }
+func (h *Host) AllocPacket() *Packet {
+	if h.net.Cfg.DisablePool {
+		return &Packet{}
+	}
+	return h.dom.pool.Get()
+}
 
 // Send stamps addressing/telemetry fields on pkt and queues it on the NIC.
 // Src must be this host; Dst must be another host.
@@ -42,7 +53,7 @@ func (h *Host) Send(pkt *Packet) {
 	pkt.SrcLeaf = h.Leaf
 	pkt.DstLeaf = h.net.Topo.LeafOf(pkt.Dst)
 	pkt.DstLeafIdx = int32(h.net.Topo.LeafIndex(pkt.DstLeaf))
-	pkt.Sent = h.net.Sim.Now()
+	pkt.Sent = h.dom.sim.Now()
 	pkt.Hops = 0
 	pkt.PathIdx = 0
 	if h.net.sendHook != nil {

@@ -151,8 +151,17 @@ type Network struct {
 	tracer    *trace.Tracer
 	met       *Metrics // obs emission, nil when metrics are off
 
-	// pool recycles packets at deliver/drop sites; see pool.go.
+	// pool recycles packets at deliver/drop sites; see pool.go. Under the
+	// sharded engine each domain owns a private pool and this one only
+	// carries the folded counters after FoldShards.
 	pool PacketPool
+
+	// Shard domains (see shard.go). A sequential network has one domain
+	// whose sim/hops/delivered/pool alias the fields above; domByNode maps
+	// every topology node to its owning domain.
+	sharded   bool
+	doms      []*domain
+	domByNode []*domain
 }
 
 // AllocPacket returns a zeroed packet for the transport layer to fill and
@@ -186,6 +195,26 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 		balancer: cfg.Balancer,
 		tracer:   cfg.Tracer,
 	}
+	// The one sequential domain aliases the Network's own fields, so the
+	// single-scheduler data plane reads and writes exactly what it always
+	// did, one pointer hop away.
+	d := &domain{sim: s, hops: &n.Hops, delivered: &n.Delivered, pool: &n.pool}
+	n.doms = []*domain{d}
+	n.domByNode = make([]*domain, len(t.Nodes))
+	for i := range n.domByNode {
+		n.domByNode[i] = d
+	}
+	n.build()
+	return n
+}
+
+// build assembles ports, switches, hosts and initial routes. It is shared
+// by the sequential (New) and sharded (NewSharded) constructors; the only
+// engine-dependent inputs are n.domByNode (who owns each node) and n.Sim
+// (the clock that seeds engine RNG streams — the global sim under
+// sharding, so streams are engine-invariant).
+func (n *Network) build() {
+	t, cfg := n.Topo, n.Cfg
 	n.txObs, _ = cfg.Balancer.(TxObserver)
 	n.arriveObs, _ = cfg.Balancer.(ArriveObserver)
 	n.sendHook, _ = cfg.Balancer.(SendHook)
@@ -218,15 +247,20 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 				p.Cap = cfg.HostQueueCap
 			}
 			p.visDelay = units.Time(float64(units.TxTime(cfg.MTU, c.Rate)) * cfg.VisFactor)
+			p.dom = n.domByNode[c.From]
+			p.dstDom = n.domByNode[c.To]
+			p.boundary = p.dom != p.dstDom
 			n.chanPort[c.ID] = p.Index
 			n.Ports = append(n.Ports, p)
 			// The port's reusable event callbacks: the only closures the
 			// data plane ever allocates, one set per port for the network's
 			// life, interned in the scheduler's permanent registry so hot
-			// events carry a plain id instead of a pointer.
-			p.txID = s.Register(func() { n.txDone(p) })
-			p.visID = s.Register(func() { n.visFire(p) })
-			p.wireID = s.Register(func() { n.wireFire(p) })
+			// events carry a plain id instead of a pointer. Queue-side
+			// events live in the source node's scheduler; the wire arrival
+			// fires at the far end, so it lives in the destination's.
+			p.txID = p.dom.sim.Register(func() { n.txDone(p) })
+			p.visID = p.dom.sim.Register(func() { n.visFire(p) })
+			p.wireID = p.dstDom.sim.Register(func() { n.wireFire(p) })
 		}
 	}
 
@@ -237,6 +271,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 		}
 		sw := &Switch{
 			Node: nd.ID, Kind: nd.Kind,
+			dom:      n.domByNode[nd.ID],
 			dropHop:  dropHopClass(nd.Kind),
 			hostPort: map[topo.NodeID]int32{},
 			inIndex:  map[topo.ChanID]int{},
@@ -258,7 +293,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 		for e := 0; e < cfg.Engines; e++ {
 			sw.engines = append(sw.engines, &Engine{
 				Index: e,
-				Rng:   s.Stream(int64(nd.ID)*1000 + int64(e) + 7919),
+				Rng:   n.Sim.Stream(int64(nd.ID)*1000 + int64(e) + 7919),
 			})
 		}
 		n.Switches[nd.ID] = sw
@@ -274,12 +309,11 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 		if nic == nil {
 			panic(fmt.Sprintf("fabric: host %d has no NIC link", h))
 		}
-		n.hosts[h] = &Host{net: n, ID: h, Leaf: t.LeafOf(h), NIC: nic}
+		n.hosts[h] = &Host{net: n, ID: h, Leaf: t.LeafOf(h), NIC: nic, dom: n.domByNode[h]}
 		n.hostByNode[h] = n.hosts[h]
 	}
 
 	n.Reconverge()
-	return n
 }
 
 // Host returns the host entity for node id.
@@ -414,7 +448,11 @@ func (n *Network) FailLink(id topo.LinkID, instantReconverge bool) {
 	if instantReconverge {
 		n.Reconverge()
 	} else {
-		n.Sim.After(n.Cfg.RouteDelay, n.Reconverge)
+		// Reconvergence rewrites tables at every switch, so it is a
+		// barrier-class event: under the sharded engine it must run with
+		// all shards parked, and sequentially the global class only moves
+		// it ahead of same-instant data-plane events.
+		n.Sim.AfterGlobal(n.Cfg.RouteDelay, n.Reconverge)
 	}
 }
 
@@ -461,31 +499,32 @@ func classifyHop(t *topo.Topology, c topo.Chan) metrics.HopClass {
 //
 //drill:hotpath
 func (n *Network) enqueue(p *Port, pkt *Packet) {
+	d := p.dom
 	if !p.up {
 		p.Drops++
-		n.Hops.RecordDrop(p.Hop)
+		d.hops.RecordDrop(p.Hop)
 		if n.tracer != nil {
-			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+			n.tracer.Packet(trace.Drop, d.sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
 		if n.met != nil {
 			n.met.drops[p.Hop].Inc()
 		}
-		n.pool.Put(pkt)
+		d.pool.Put(pkt)
 		return
 	}
 	if p.Cap > 0 && int(p.QPkts) >= p.Cap {
 		p.Drops++
-		n.Hops.RecordDrop(p.Hop)
+		d.hops.RecordDrop(p.Hop)
 		if n.tracer != nil {
-			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+			n.tracer.Packet(trace.Drop, d.sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
 		if n.met != nil {
 			n.met.drops[p.Hop].Inc()
 		}
-		n.pool.Put(pkt)
+		d.pool.Put(pkt)
 		return
 	}
-	pkt.enqAt = n.Sim.Now()
+	pkt.enqAt = d.sim.Now()
 	if n.Cfg.ECNThreshold > 0 && int(p.QPkts) >= n.Cfg.ECNThreshold {
 		pkt.ECNCE = true
 	}
@@ -503,16 +542,16 @@ func (n *Network) enqueue(p *Port, pkt *Packet) {
 		p.applyVisibility(size)
 	} else if n.Cfg.DisableBatch {
 		//drill:allow hotpath legacy unbatched reference path, off by default
-		n.Sim.After(p.visDelay, func() { p.applyVisibility(size) })
+		d.sim.After(p.visDelay, func() { p.applyVisibility(size) })
 	} else {
-		// Reserve the tie-break seq now — the slot sim.After would have
+		// Reserve the tie-break key now — the slot sim.After would have
 		// taken — and park the update on the port's visibility ring; the
-		// ring's timer fires it at exactly that (time, seq).
-		e := visEntry{at: n.Sim.Now() + p.visDelay, seq: n.Sim.ReserveSeq(), size: size}
+		// ring's timer fires it at exactly that (time, key).
+		e := visEntry{at: d.sim.Now() + p.visDelay, key: d.sim.ReserveKey(), size: size}
 		idle := p.visRing.empty()
 		p.visRing.push(e)
 		if idle {
-			n.Sim.AtSeqID(e.at, e.seq, p.visID)
+			d.sim.AtKeyID(e.at, e.key, p.visID)
 		}
 	}
 	if !p.busy {
@@ -528,7 +567,7 @@ func (n *Network) visFire(p *Port) {
 	e := p.visRing.pop()
 	if !p.visRing.empty() {
 		h := p.visRing.peek()
-		n.Sim.AtSeqID(h.at, h.seq, p.visID)
+		p.dom.sim.AtKeyID(h.at, h.key, p.visID)
 	}
 	p.applyVisibility(e.size)
 }
@@ -537,15 +576,16 @@ func (n *Network) visFire(p *Port) {
 //
 //drill:hotpath
 func (n *Network) transmit(p *Port) {
+	d := p.dom
 	pkt := p.queue[p.head] // head stays queued while in service
 	p.busy = true
-	wait := n.Sim.Now() - pkt.enqAt
-	n.Hops.RecordQueueing(p.Hop, wait)
+	wait := d.sim.Now() - pkt.enqAt
+	d.hops.RecordQueueing(p.Hop, wait)
 	pkt.HopWaitNs[p.Hop] += int64(wait)
 	// The head leaves the waiting queue as it starts onto the wire.
 	p.departVisibility(pkt.Size)
 	if n.tracer != nil {
-		n.tracer.Emit(trace.Event{T: n.Sim.Now(), Kind: trace.TxStart, Port: p.Index, Hop: uint8(p.Hop),
+		n.tracer.Emit(trace.Event{T: d.sim.Now(), Kind: trace.TxStart, Port: p.Index, Hop: uint8(p.Hop),
 			Flow: pkt.FlowID, Seq: pkt.Seq, Size: int32(pkt.Size), QLen: p.QPkts, Val: float64(wait)})
 	}
 	txT := units.TxTime(pkt.Size, p.Rate)
@@ -554,17 +594,18 @@ func (n *Network) transmit(p *Port) {
 	}
 	if n.Cfg.DisableBatch {
 		//drill:allow hotpath legacy unbatched reference path, off by default
-		n.Sim.After(txT, func() { n.txDone(p) })
+		d.sim.After(txT, func() { n.txDone(p) })
 		return
 	}
 	// At most one transmission is in service per port, so the reusable
 	// callback needs no ring; After takes a fresh seq exactly as the
 	// closure-per-packet path did.
-	n.Sim.AfterID(txT, p.txID)
+	d.sim.AfterID(txT, p.txID)
 }
 
 //drill:hotpath
 func (n *Network) txDone(p *Port) {
+	d := p.dom
 	pkt := p.popQueue()
 	p.QPkts--
 	p.QBytes -= int64(pkt.Size)
@@ -573,21 +614,33 @@ func (n *Network) txDone(p *Port) {
 	p.busy = false
 	if p.up {
 		if n.tracer != nil {
-			n.tracer.Packet(trace.LinkDepart, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+			n.tracer.Packet(trace.LinkDepart, d.sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
+		// The arrival's key is a pure function of the port and its
+		// departure counter — not of this scheduler's state — so a sharded
+		// run computes the same key for the same departure and the far
+		// scheduler dispatches it in exactly the sequential engine's slot.
+		at := d.sim.Now() + p.Prop
+		key := sim.ArrivalKey(uint64(p.Index), p.wireSeq)
+		p.wireSeq++
 		if n.Cfg.DisableBatch {
 			to := p.To
 			in := p.Chan
 			//drill:allow hotpath legacy unbatched reference path, off by default
-			n.Sim.After(p.Prop, func() { n.arrive(pkt, to, in) })
+			d.sim.AtKey(at, key, func() { n.arrive(pkt, to, in) })
+		} else if p.boundary {
+			// Cross-shard wire: the destination's scheduler may only be
+			// touched at a barrier. Park the packet in the outbox; the
+			// coordinator's exchange pushes it onto the wire ring with the
+			// identical key, so nothing downstream can tell the difference.
+			d.outbox = append(d.outbox, wireMsg{p: p, at: at, key: key, pkt: pkt})
 		} else {
-			// Put the packet on the wire: reserve its arrival's (time, seq)
-			// slot and park it on the port's in-flight ring.
-			e := wireEntry{at: n.Sim.Now() + p.Prop, seq: n.Sim.ReserveSeq(), pkt: pkt}
+			// Put the packet on the wire: park it on the port's in-flight
+			// ring at its reserved (time, key) slot.
 			idle := p.wireRing.empty()
-			p.wireRing.push(e)
+			p.wireRing.push(wireEntry{at: at, key: key, pkt: pkt})
 			if idle {
-				n.Sim.AtSeqID(e.at, e.seq, p.wireID)
+				d.sim.AtKeyID(at, key, p.wireID)
 			}
 		}
 		if !p.queueEmpty() {
@@ -597,14 +650,14 @@ func (n *Network) txDone(p *Port) {
 	}
 	// Link died mid-flight: the packet is lost, and so is anything queued.
 	p.Drops++
-	n.Hops.RecordDrop(p.Hop)
+	d.hops.RecordDrop(p.Hop)
 	if n.tracer != nil {
-		n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+		n.tracer.Packet(trace.Drop, d.sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 	}
 	if n.met != nil {
 		n.met.drops[p.Hop].Inc()
 	}
-	n.pool.Put(pkt)
+	d.pool.Put(pkt)
 	n.drainPort(p)
 }
 
@@ -619,7 +672,7 @@ func (n *Network) wireFire(p *Port) {
 	e := p.wireRing.pop()
 	if !p.wireRing.empty() {
 		h := p.wireRing.peek()
-		n.Sim.AtSeqID(h.at, h.seq, p.wireID)
+		p.dstDom.sim.AtKeyID(h.at, h.key, p.wireID)
 	}
 	n.arrive(e.pkt, p.To, p.Chan)
 }
@@ -628,20 +681,21 @@ func (n *Network) wireFire(p *Port) {
 //
 //drill:hotpath
 func (n *Network) drainPort(p *Port) {
+	d := p.dom
 	for !p.queueEmpty() {
 		pkt := p.popQueue()
 		p.QPkts--
 		p.QBytes -= int64(pkt.Size)
 		p.departVisibility(pkt.Size)
 		p.Drops++
-		n.Hops.RecordDrop(p.Hop)
+		d.hops.RecordDrop(p.Hop)
 		if n.tracer != nil {
-			n.tracer.Packet(trace.Drop, n.Sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
+			n.tracer.Packet(trace.Drop, d.sim.Now(), p.Index, uint8(p.Hop), pkt.FlowID, pkt.Seq, int32(pkt.Size), p.QPkts)
 		}
 		if n.met != nil {
 			n.met.drops[p.Hop].Inc()
 		}
-		n.pool.Put(pkt)
+		d.pool.Put(pkt)
 	}
 }
 
@@ -649,10 +703,11 @@ func (n *Network) drainPort(p *Port) {
 //
 //drill:hotpath
 func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
+	d := n.domByNode[at]
 	if h := n.hostByNode[at]; h != nil {
-		n.Delivered++
+		*d.delivered++
 		if n.tracer != nil {
-			n.tracer.Packet(trace.Deliver, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
+			n.tracer.Packet(trace.Deliver, d.sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
 				pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
 		}
 		if n.met != nil {
@@ -663,12 +718,12 @@ func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
 		}
 		// The handler consumes the packet synchronously (transport copies
 		// what it keeps); a delivered packet is dead and can be recycled.
-		n.pool.Put(pkt)
+		d.pool.Put(pkt)
 		return
 	}
 	sw := n.swByNode[at]
 	if n.tracer != nil {
-		n.tracer.Packet(trace.Arrive, n.Sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
+		n.tracer.Packet(trace.Arrive, d.sim.Now(), n.chanPort[in], uint8(n.Ports[n.chanPort[in]].Hop),
 			pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
 	}
 	pkt.Hops++
@@ -721,14 +776,14 @@ func (n *Network) forward(sw *Switch, eng *Engine, pkt *Packet) {
 		// Destination unreachable from here (mid-failure window): drop,
 		// booked against this switch's own forwarding tier (port -1: there
 		// is no output port to attribute it to).
-		n.Hops.RecordDrop(sw.dropHop)
+		sw.dom.hops.RecordDrop(sw.dropHop)
 		if n.tracer != nil {
-			n.tracer.Packet(trace.Drop, n.Sim.Now(), -1, uint8(sw.dropHop), pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
+			n.tracer.Packet(trace.Drop, sw.dom.sim.Now(), -1, uint8(sw.dropHop), pkt.FlowID, pkt.Seq, int32(pkt.Size), 0)
 		}
 		if n.met != nil {
 			n.met.drops[sw.dropHop].Inc()
 		}
-		n.pool.Put(pkt)
+		sw.dom.pool.Put(pkt)
 		return
 	}
 	var port int32

@@ -67,6 +67,17 @@ type Port struct {
 	visRing  fifo[visEntry]
 	wireRing fifo[wireEntry]
 
+	// Shard plumbing (see shard.go). dom owns the queue side (enqueue,
+	// visibility, transmission); dstDom owns the wire arrival at the far
+	// end. They differ only on boundary ports, whose departures detour
+	// through the domain outbox instead of arming dstDom's scheduler
+	// directly. wireSeq counts departures; together with Index it forms
+	// the engine-invariant arrival key (sim.ArrivalKey).
+	dom      *domain
+	dstDom   *domain
+	boundary bool
+	wireSeq  uint64
+
 	// Counters.
 	TxPackets int64
 	TxBytes   int64

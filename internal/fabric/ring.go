@@ -37,21 +37,22 @@ func (f *fifo[T]) empty() bool { return f.head == len(f.buf) }
 func (f *fifo[T]) peek() *T { return &f.buf[f.head] }
 
 // visEntry is one pending delayed-visibility update: packet size to credit
-// to the port's visible occupancy at time at, under the FIFO tie-break seq
+// to the port's visible occupancy at time at, under the FIFO tie-break key
 // reserved when the packet enqueued. Visibility delay is constant per
-// port, so entries are pushed — and therefore fire — in (at, seq) order.
+// port, so entries are pushed — and therefore fire — in (at, key) order.
 type visEntry struct {
 	at   units.Time
-	seq  uint64
+	key  uint64
 	size units.ByteSize
 }
 
 // wireEntry is one packet in flight on a port's link: it arrives at the
-// far end at time at, under the seq reserved when its transmission
-// completed. Propagation delay is constant per port, so the ring is in
-// (at, seq) order by construction.
+// far end at time at, under the arrival key computed when its transmission
+// completed. Propagation delay is constant per port and the departure
+// counter behind the key is monotone, so the ring is in (at, key) order by
+// construction.
 type wireEntry struct {
 	at  units.Time
-	seq uint64
+	key uint64
 	pkt *Packet
 }

@@ -52,6 +52,10 @@ type Switch struct {
 	// itself (destination unreachable): the switch's forwarding tier.
 	dropHop metrics.HopClass
 
+	// dom is the shard domain owning this switch's events and stats; the
+	// forwarding path charges unreachable-destination drops to it.
+	dom *domain
+
 	OutPorts []int32 // Network port indexes of this switch's output ports
 
 	// hostPort maps a locally attached host to the port serving it.

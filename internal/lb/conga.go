@@ -57,6 +57,10 @@ func NewCONGA() *CONGA {
 // Name implements fabric.Balancer.
 func (c *CONGA) Name() string { return "CONGA" }
 
+// ShardUnsafe marks CONGA as sequential-only: its leaf-to-leaf congestion
+// feedback reads and ages DRE state across shard boundaries.
+func (c *CONGA) ShardUnsafe() {}
+
 // BuildTables implements fabric.TableBuilder: ECMP tables plus CONGA's
 // per-leaf congestion state, rebuilt on reconvergence.
 func (c *CONGA) BuildTables(net *fabric.Network) {

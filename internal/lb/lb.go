@@ -107,6 +107,10 @@ func NewPerFlowDRILL() *PerFlowDRILL {
 // Name implements fabric.Balancer.
 func (p *PerFlowDRILL) Name() string { return "per-flow DRILL" }
 
+// ShardUnsafe marks per-flow DRILL as sequential-only: its per-flow port
+// memory is shared across every switch rather than per-shard.
+func (p *PerFlowDRILL) ShardUnsafe() {}
+
 // Choose implements fabric.Balancer.
 func (p *PerFlowDRILL) Choose(net *fabric.Network, sw *fabric.Switch, eng *fabric.Engine, pkt *fabric.Packet) int32 {
 	key := pinKey{sw: int32(sw.Node), flow: pkt.FlowID}

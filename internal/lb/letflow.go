@@ -36,6 +36,10 @@ func NewLetFlow() *LetFlow {
 // Name implements fabric.Balancer.
 func (l *LetFlow) Name() string { return "LetFlow" }
 
+// ShardUnsafe marks LetFlow as sequential-only: flowlet-gap detection
+// reads the run clock, which is not a per-shard quantity mid-window.
+func (l *LetFlow) ShardUnsafe() {}
+
 // Choose implements fabric.Balancer.
 func (l *LetFlow) Choose(net *fabric.Network, sw *fabric.Switch, eng *fabric.Engine, pkt *fabric.Packet) int32 {
 	g := fabric.GroupForFlow(sw.Groups(pkt.DstLeafIdx), pkt.Hash)

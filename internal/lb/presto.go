@@ -44,6 +44,10 @@ func NewPresto() *Presto {
 // Name implements fabric.Balancer.
 func (p *Presto) Name() string { return "Presto" }
 
+// ShardUnsafe marks Presto as sequential-only: its host send hook assigns
+// source routes from spanning-tree state shared across the fabric.
+func (p *Presto) ShardUnsafe() {}
+
 // BuildTables implements fabric.TableBuilder: default (ECMP) tables for
 // non-source-routed traffic plus the per-leaf-pair weighted path lists.
 func (p *Presto) BuildTables(net *fabric.Network) {

@@ -34,7 +34,7 @@ import (
 //     metrics off means no pointer chase, no atomic, nothing.
 //
 //  4. Inside //drill:hotpath functions, function literals may not be
-//     passed to internal/sim scheduling calls (After, At, AtSeq,
+//     passed to internal/sim scheduling calls (After, At, AtKey,
 //     NewTimer, ...): a capturing closure heap-allocates per call, which
 //     is exactly the per-event allocation the scheduler's Register/FnID
 //     interning and reusable Timers exist to avoid. The legacy

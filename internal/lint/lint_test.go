@@ -14,6 +14,14 @@ func TestNondeterminism(t *testing.T) {
 	linttest.Run(t, "testdata", Nondeterminism, "fix/internal/fabric")
 }
 
+// TestNondeterminismShardRunner proves the concurrency exemption is
+// file-granular: goroutines and channels in shard.go inside a package
+// ending in internal/sim stay silent, the same constructs in a sibling
+// file fire, and the wall-clock/map-order bans still fire in shard.go.
+func TestNondeterminismShardRunner(t *testing.T) {
+	linttest.Run(t, "testdata", Nondeterminism, "fix/internal/sim")
+}
+
 func TestNondeterminismSkipsNonSimPackages(t *testing.T) {
 	if diags := linttest.Diagnostics(t, "testdata", Nondeterminism, "fix/plain"); len(diags) != 0 {
 		t.Fatalf("nondeterminism fired outside simulation packages: %v", diags)

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -10,15 +12,22 @@ import (
 	"golang.org/x/tools/go/types/typeutil"
 )
 
-// Nondeterminism forbids the three classic sources of run-to-run drift
-// inside the simulation packages: wall clocks, the process-global
-// math/rand source, and map iteration order. Everything the simulator
-// does must be a pure function of the configured seed, or the
-// byte-identical parallel fan-out (and every Fig. 2/3 reproduction on
-// top of it) silently breaks.
+// Nondeterminism forbids the classic sources of run-to-run drift inside
+// the simulation packages: wall clocks, the process-global math/rand
+// source, map iteration order, and ad-hoc concurrency (goroutines and
+// channels, which make event order depend on the Go scheduler).
+// Everything the simulator does must be a pure function of the
+// configured seed, or the byte-identical parallel fan-out (and every
+// Fig. 2/3 reproduction on top of it) silently breaks.
+//
+// The one sanctioned concurrency site is internal/sim's shard-runner
+// file (shard.go): the window-barrier protocol there is exactly the
+// machinery the conformance harness proves byte-identical, so its
+// worker goroutines and command channels are exempt. The wall-clock,
+// math/rand, and map-order bans still apply inside it.
 var Nondeterminism = &analysis.Analyzer{
 	Name: "nondeterminism",
-	Doc: "forbid wall clocks, global math/rand, and map-order iteration in simulation packages " +
+	Doc: "forbid wall clocks, global math/rand, map-order iteration, and — outside internal/sim's shard runner — goroutines and channels in simulation packages " +
 		"(internal/{sim,fabric,transport,queueing,lb,core,workload,quiver})",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runNondeterminism,
@@ -62,12 +71,17 @@ func runNondeterminism(pass *analysis.Pass) (any, error) {
 		(*ast.File)(nil),
 		(*ast.CallExpr)(nil),
 		(*ast.RangeStmt)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.SendStmt)(nil),
+		(*ast.UnaryExpr)(nil),
 	}
-	skip := false // current file is a test file
+	skip := false        // current file is a test file
+	shardRunner := false // current file is internal/sim's shard runner
 	ins.Preorder(nodeFilter, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.File:
 			skip = isTestFile(pass, n)
+			shardRunner = isShardRunnerFile(pass, n)
 		case *ast.CallExpr:
 			if skip {
 				return
@@ -85,13 +99,49 @@ func runNondeterminism(pass *analysis.Pass) (any, error) {
 			if t == nil {
 				return
 			}
-			if _, ok := t.Underlying().(*types.Map); ok {
+			switch t.Underlying().(type) {
+			case *types.Map:
 				sup.Reportf(n.Pos(),
 					"map iteration order is nondeterministic in simulation code; iterate a sorted key slice, or add //drill:allow nondeterminism <reason> if the loop body is order-independent")
+			case *types.Chan:
+				if !shardRunner {
+					sup.Reportf(n.Pos(), chanRecvMsg)
+				}
 			}
+		case *ast.GoStmt:
+			if skip || shardRunner {
+				return
+			}
+			sup.Reportf(n.Pos(),
+				"goroutine spawn in simulation code: event order would depend on the Go scheduler; only internal/sim's shard runner (shard.go) may spawn workers")
+		case *ast.SendStmt:
+			if skip || shardRunner {
+				return
+			}
+			sup.Reportf(n.Pos(),
+				"channel send in simulation code: cross-shard traffic must use the window-barrier exchange; only internal/sim's shard runner (shard.go) may use channels")
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || skip || shardRunner {
+				return
+			}
+			sup.Reportf(n.Pos(), chanRecvMsg)
 		}
 	})
 	return nil, nil
+}
+
+const chanRecvMsg = "channel receive in simulation code: delivery order would depend on the Go scheduler; only internal/sim's shard runner (shard.go) may use channels"
+
+// isShardRunnerFile reports whether f is internal/sim's shard-runner
+// file (shard.go) — the one place goroutines and channels are legal,
+// because the window-barrier protocol it hosts is exactly what the
+// conformance harness proves byte-identical against the sequential
+// engine. The wall-clock, math/rand, and map-order bans still apply.
+func isShardRunnerFile(pass *analysis.Pass, f *ast.File) bool {
+	if !isSimSchedPkg(pass.Pkg.Path()) {
+		return false
+	}
+	return filepath.Base(pass.Fset.File(f.Pos()).Name()) == "shard.go"
 }
 
 func checkNondetCall(sup *suppressor, call *ast.CallExpr, fn *types.Func) {

@@ -1,0 +1,28 @@
+package fabric
+
+// Concurrency outside internal/sim's shard runner makes event order
+// depend on the Go scheduler, so the analyzer bans it wholesale here.
+
+func spawn(work func()) {
+	go work() // want `goroutine spawn in simulation code`
+}
+
+func send(ch chan int, v int) {
+	ch <- v // want `channel send in simulation code`
+}
+
+func recv(ch chan int) int {
+	return <-ch // want `channel receive in simulation code`
+}
+
+func drain(ch chan int) int {
+	sum := 0
+	for v := range ch { // want `channel receive in simulation code`
+		sum += v
+	}
+	return sum
+}
+
+func barrierWait(done chan struct{}) {
+	<-done //drill:allow nondeterminism single-producer handoff; order-independent
+}

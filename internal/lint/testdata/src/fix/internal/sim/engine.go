@@ -1,0 +1,15 @@
+package sim
+
+// The exemption is per-file, not per-package: concurrency in any other
+// file of internal/sim is still a violation.
+
+func fanout(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want `goroutine spawn in simulation code`
+	}
+}
+
+func relay(in, out chan int) {
+	v := <-in // want `channel receive in simulation code`
+	out <- v  // want `channel send in simulation code`
+}

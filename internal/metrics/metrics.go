@@ -103,6 +103,26 @@ func (d *Dist) StdDev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
+// HashSorted returns an FNV-1a hash over the samples in sorted order —
+// an order-insensitive fingerprint of the distribution. Two Dists that
+// collected the same multiset of samples hash identically no matter the
+// insertion order, which is what lets a conformance test compare a
+// sequential run's FCT distribution against a sharded run's per-shard
+// fold without depending on fold order (the multiset is identical; the
+// insertion-order float sum behind Mean is not).
+func (d *Dist) HashSorted() uint64 {
+	d.sort()
+	h := uint64(14695981039346656037)
+	for _, v := range d.vals {
+		b := math.Float64bits(v)
+		for i := 0; i < 64; i += 8 {
+			h ^= (b >> i) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	X float64 // sample value
@@ -215,27 +235,39 @@ func (h HopClass) String() string {
 }
 
 // HopStats accumulates queueing delay, arrivals and drops per hop class.
+// All fields are integer totals, so merging per-shard blocks (Merge) is
+// exactly commutative — a sharded run folds to the same bytes a sequential
+// run accumulates, which a float total could not promise.
 type HopStats struct {
-	QueueingNs [NumHopClasses]float64 // total queueing time
-	Packets    [NumHopClasses]int64   // packets transmitted
-	Drops      [NumHopClasses]int64   // packets dropped at enqueue
+	QueueingNs [NumHopClasses]int64 // total queueing time in nanoseconds
+	Packets    [NumHopClasses]int64 // packets transmitted
+	Drops      [NumHopClasses]int64 // packets dropped at enqueue
 }
 
 // RecordQueueing adds one packet's time-in-queue at a hop.
 func (h *HopStats) RecordQueueing(c HopClass, d units.Time) {
-	h.QueueingNs[c] += float64(d)
+	h.QueueingNs[c] += int64(d)
 	h.Packets[c]++
 }
 
 // RecordDrop counts a drop at a hop.
 func (h *HopStats) RecordDrop(c HopClass) { h.Drops[c]++ }
 
+// Merge folds o's totals into h.
+func (h *HopStats) Merge(o *HopStats) {
+	for c := 0; c < int(NumHopClasses); c++ {
+		h.QueueingNs[c] += o.QueueingNs[c]
+		h.Packets[c] += o.Packets[c]
+		h.Drops[c] += o.Drops[c]
+	}
+}
+
 // MeanQueueing reports the mean queueing delay at a hop in microseconds.
 func (h *HopStats) MeanQueueing(c HopClass) float64 {
 	if h.Packets[c] == 0 {
 		return 0
 	}
-	return h.QueueingNs[c] / float64(h.Packets[c]) / 1000
+	return float64(h.QueueingNs[c]) / float64(h.Packets[c]) / 1000
 }
 
 // LossRate reports drops/(drops+delivered) at a hop, as a percentage.
@@ -277,6 +309,28 @@ func (h *IntHist) Add(v int) {
 
 // Count reports the number of observations.
 func (h *IntHist) Count() int64 { return h.total }
+
+// Bucket reports how many observations had value exactly v — the exact
+// integer behind FracExactly, for fingerprints that must compare
+// histograms without float division.
+func (h *IntHist) Bucket(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Merge folds o's counts into h. Bucket counts are integers, so merging
+// per-shard histograms is exactly commutative.
+func (h *IntHist) Merge(o *IntHist) {
+	for len(h.counts) < len(o.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
 
 // FracAtLeast reports the fraction of observations with value >= v.
 func (h *IntHist) FracAtLeast(v int) float64 {

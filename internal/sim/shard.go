@@ -1,0 +1,240 @@
+// Conservative time-window synchronizer for sharded simulations.
+//
+// A sharded run partitions the fabric into shards, each owning a private
+// Sim, plus one global Sim for everything that observes or steers more
+// than one shard (workload generators, failure injection, samplers,
+// daemon tickers). Shards interact only through wire propagation across
+// shard-boundary links, whose minimum propagation delay L is the
+// lookahead bound: an event a shard executes at time t cannot affect
+// another shard before t+L. The synchronizer exploits that bound the
+// classic conservative-parallel-DES way — pick the earliest pending event
+// time m across all schedulers, let every shard run its private events in
+// [T, W) with W = min(m+L, next global event, horizon) concurrently, then
+// barrier, exchange the cross-shard packets those windows produced, run
+// the global events at the barrier instant, and repeat.
+//
+// Determinism argument. Dispatch order inside every scheduler is
+// (time, key), and keys carry a class in their top bits: global < local <
+// arrival at the same instant (see the class constants in sim.go). The
+// barrier loop realizes exactly that order globally:
+//
+//   - Global events at the barrier time T run while every shard is parked
+//     at T having dispatched strictly less than T — the same pre-local
+//     slot the sequential scheduler gives the global class.
+//   - Two local events in the same shard dispatch in that shard's
+//     (time, seq) order; the scheduling calls that allocated their seqs
+//     run in the same relative order in both engines, so the order
+//     matches the sequential engine's restriction to that shard.
+//   - Local events in different shards touch disjoint state (separate
+//     schedulers, packet pools, RNG streams, stat blocks), so their
+//     relative order cannot affect results; per-shard results are folded
+//     in shard-ID order afterwards.
+//   - A cross-shard arrival's key is ArrivalKey(port, n) — a pure
+//     function of the destination port index and the port's departure
+//     counter, both engine-invariant — so injecting it at a barrier lands
+//     it in exactly the slot the sequential scheduler dispatches it.
+//
+// The lookahead guarantees no window is ever too wide: an event executed
+// in [T, W) departs a boundary link no earlier than m and so arrives no
+// earlier than m+L >= W, i.e. always in a later window, always injectable
+// at a barrier before the destination shard reaches it.
+//
+// This file is the one place in the simulation core where goroutines and
+// channels are legal (the drillvet nondeterminism analyzer exempts it by
+// name): shards run on persistent workers, and the coordinator's channel
+// send / WaitGroup handshake provides the happens-before edges that make
+// each shard's memory visible to the coordinator at every barrier.
+package sim
+
+import (
+	"sync"
+
+	"drill/internal/units"
+)
+
+// shardCmd tells a worker how far to run its shard: events strictly
+// before t (a window) or up to and including t (the final drain pass).
+type shardCmd struct {
+	t         units.Time
+	inclusive bool
+}
+
+// ShardGroup couples one global scheduler with N shard schedulers under
+// the window protocol. Configure the exported fields, call Start, then
+// drive it with RunUntil exactly as a sequential run drives Sim.RunUntil;
+// Close parks the workers when the run is over.
+type ShardGroup struct {
+	// Global runs barrier-class events: workload, control plane, daemon
+	// tickers, observers. Its clock is the authoritative run clock.
+	Global *Sim
+	// Shards run the data plane, one goroutine each.
+	Shards []*Sim
+	// Lookahead is the minimum propagation delay across shard-boundary
+	// links; it must be positive or no window could make progress.
+	Lookahead units.Time
+	// Exchange drains every shard's outbound packet queue into the
+	// destination shards' schedulers, in shard-ID order. It is called at
+	// barriers only, with all workers parked.
+	Exchange func()
+
+	cmds    []chan shardCmd
+	wg      sync.WaitGroup
+	started bool
+}
+
+// Start validates the configuration and launches one persistent worker
+// per shard. The workers park between windows; their lifetime spans every
+// subsequent RunUntil call until Close.
+func (g *ShardGroup) Start() {
+	if g.started {
+		panic("sim: ShardGroup started twice")
+	}
+	if g.Global == nil || len(g.Shards) == 0 {
+		panic("sim: ShardGroup requires a global sim and at least one shard")
+	}
+	if g.Lookahead <= 0 {
+		panic("sim: ShardGroup requires a positive lookahead bound")
+	}
+	g.cmds = make([]chan shardCmd, len(g.Shards))
+	for i, s := range g.Shards {
+		ch := make(chan shardCmd)
+		g.cmds[i] = ch
+		go g.worker(s, ch)
+	}
+	g.started = true
+}
+
+// worker runs one shard's windows as commands arrive. The channel receive
+// orders the coordinator's barrier-time writes before the window runs,
+// and wg.Done orders the window's writes before the coordinator resumes.
+func (g *ShardGroup) worker(s *Sim, ch chan shardCmd) {
+	for cmd := range ch {
+		if cmd.inclusive {
+			s.RunUntil(cmd.t)
+		} else {
+			s.RunBefore(cmd.t)
+		}
+		g.wg.Done()
+	}
+}
+
+// Close terminates the workers. The group cannot be restarted.
+func (g *ShardGroup) Close() {
+	if !g.started {
+		return
+	}
+	for _, ch := range g.cmds {
+		close(ch)
+	}
+	g.cmds = nil
+}
+
+// runShards dispatches one window to every shard that has work before t
+// and parks the idle ones at t. A single busy shard runs inline — the
+// common case on small topologies, where a goroutine handoff would cost
+// more than the window.
+func (g *ShardGroup) runShards(t units.Time, inclusive bool) {
+	busy := -1
+	nBusy := 0
+	for i, s := range g.Shards {
+		at, ok := s.NextAt()
+		if ok && (at < t || (inclusive && at == t)) {
+			busy = i
+			nBusy++
+		}
+	}
+	if nBusy <= 1 {
+		for i, s := range g.Shards {
+			if i == busy {
+				if inclusive {
+					s.RunUntil(t)
+				} else {
+					s.RunBefore(t)
+				}
+			} else {
+				s.AdvanceTo(t)
+			}
+		}
+		return
+	}
+	cmd := shardCmd{t: t, inclusive: inclusive}
+	for i, s := range g.Shards {
+		at, ok := s.NextAt()
+		if ok && (at < t || (inclusive && at == t)) {
+			g.wg.Add(1)
+			g.cmds[i] <- cmd
+		} else {
+			s.AdvanceTo(t)
+		}
+	}
+	g.wg.Wait()
+}
+
+// RunUntil advances the whole group to t: every global event at or before
+// t and every shard event at or before t dispatches, in the canonical
+// (time, class, key) order, and all clocks end at t. It is the sharded
+// equivalent of Sim.RunUntil and may be called repeatedly (measurement
+// horizon, then drain horizon) — cross-shard packets still in flight at t
+// stay queued in their outboxes and are exchanged on the next call.
+func (g *ShardGroup) RunUntil(until units.Time) {
+	if !g.started {
+		panic("sim: ShardGroup not started")
+	}
+	T := g.Global.Now()
+	for T < until {
+		g.Exchange()
+		g.Global.RunUntil(T)
+
+		// Earliest pending event anywhere decides whether a window before
+		// `until` remains, and how wide it can safely be.
+		m := until
+		ok := false
+		if at, o := g.Global.NextAt(); o && at < m {
+			m, ok = at, true
+		}
+		mShard := until
+		okShard := false
+		for _, s := range g.Shards {
+			if at, o := s.NextAt(); o && at < mShard {
+				mShard, okShard = at, true
+			}
+		}
+		if okShard && mShard < m {
+			m, ok = mShard, true
+		}
+		if !ok {
+			break
+		}
+
+		// Window end: nothing cross-shard can land before mShard+L, no
+		// shard may run past the next global event (it could steer any
+		// shard), and the horizon caps everything.
+		W := until
+		if okShard && mShard+g.Lookahead < W {
+			W = mShard + g.Lookahead
+		}
+		if at, o := g.Global.NextAt(); o && at < W {
+			W = at
+		}
+		g.runShards(W, false)
+		T = W
+	}
+
+	// Final pass: the loop left every clock at `until` with only events
+	// at exactly `until` pending (globals first, then shard events; any
+	// arrivals they generate land strictly after `until`).
+	g.Exchange()
+	g.Global.RunUntil(until)
+	g.runShards(until, true)
+}
+
+// Executed sums dispatched events across the global and shard schedulers.
+// The mapping of events to schedulers is one-to-one with the sequential
+// engine, so this total matches Sim.Executed of an equivalent run.
+func (g *ShardGroup) Executed() uint64 {
+	n := g.Global.Executed
+	for _, s := range g.Shards {
+		n += s.Executed
+	}
+	return n
+}

@@ -71,6 +71,25 @@ const (
 	keyShift          = 3
 )
 
+// Event-key class bits. The top two key bits partition same-time events
+// into three classes, dispatched in class order: global events (workload
+// arrivals, failure injection, daemon tickers — anything a sharded run
+// executes at a window barrier), then shard-local events (the data plane's
+// tx/visibility/timer events), then wire arrivals (packets landing on a
+// port after propagation). The class order is what makes the sharded
+// engine byte-identical to the sequential one: a barrier runs all globals
+// at time T before any shard touches its local events at T, exactly as a
+// single scheduler sorting on these keys would, and a cross-shard arrival
+// carries a key derived from engine-invariant state (port index and
+// per-port departure sequence, see ArrivalKey) rather than from any one
+// scheduler's private counter.
+const (
+	classShift          = 62
+	classGlobal  uint64 = 0 << classShift // barrier-executed: workload, control plane, daemons
+	classLocal   uint64 = 1 << classShift // shard-private data-plane events
+	classArrival uint64 = 2 << classShift // wire arrivals; key from ArrivalKey
+)
+
 // Timer tier tags (Timer.tier, eventHeap.tier).
 const (
 	tierNone  int8 = iota // not scheduled
@@ -223,7 +242,7 @@ func (s *Sim) release(id int32) {
 }
 
 // FnID names a callback interned with Register. Scheduling by id (AtID,
-// AfterID, AtSeqID) skips the per-event slot round-trip; it is the right
+// AfterID, AtKeyID) skips the per-event slot round-trip; it is the right
 // shape for long-lived fire-and-rearm callbacks like the fabric's per-port
 // handlers, which are armed millions of times but created once.
 type FnID int32
@@ -239,21 +258,34 @@ func (s *Sim) Register(fn func()) FnID {
 	return FnID(len(s.perms) - 1)
 }
 
-// ReserveSeq allocates and returns the next FIFO tie-break sequence
-// number, exactly as scheduling an event now would. It exists for batched
-// event sources (the fabric's per-port burst rings): a producer reserves
-// the seq at the instant the old one-event-per-packet design would have
-// scheduled, hands it to Timer.ResetAt when the entry reaches the head of
-// its ring, and dispatch order stays byte-identical to the unbatched path.
+// ReserveKey allocates and returns the next local-class event key, exactly
+// as scheduling a local event now would. It exists for batched event
+// sources (the fabric's per-port visibility rings): a producer reserves
+// the key at the instant the old one-event-per-packet design would have
+// scheduled, hands it to AtKeyID when the entry reaches the head of its
+// ring, and dispatch order stays byte-identical to the unbatched path.
 //
 //drill:hotpath
-func (s *Sim) ReserveSeq() uint64 {
+func (s *Sim) ReserveKey() uint64 {
 	s.seq++
-	return s.seq
+	return classLocal | s.seq<<keyShift
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would silently reorder causality.
+// ArrivalKey builds the event key for a wire arrival on directed port
+// `port`, carrying the port's n-th departure. The key is a pure function
+// of topology-invariant state — no scheduler counter — so a packet's
+// arrival dispatches in the same slot whether the sending and receiving
+// ports live in one scheduler or in two shards exchanging the packet at a
+// window barrier. Port indexes fit 25 bits (33M directed channels) and
+// per-port departures 34 bits (17G packets per port per run).
+//
+//drill:hotpath
+func ArrivalKey(port, n uint64) uint64 {
+	return classArrival | port<<(keyShift+34) | n<<keyShift
+}
+
+// At schedules fn to run at absolute time t as a shard-local event.
+// Scheduling in the past panics: it would silently reorder causality.
 //
 //drill:hotpath
 func (s *Sim) At(t units.Time, fn func()) {
@@ -261,7 +293,7 @@ func (s *Sim) At(t units.Time, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	s.seq++
-	s.schedule(event{at: t, key: s.seq << keyShift, id: s.alloc(fn, nil)})
+	s.schedule(event{at: t, key: classLocal | s.seq<<keyShift, id: s.alloc(fn, nil)})
 }
 
 // AtID schedules the callback registered under id at absolute time t, with
@@ -273,7 +305,7 @@ func (s *Sim) AtID(t units.Time, id FnID) {
 		panic("sim: event scheduled in the past")
 	}
 	s.seq++
-	s.schedule(event{at: t, key: s.seq << keyShift, id: ^int32(id)})
+	s.schedule(event{at: t, key: classLocal | s.seq<<keyShift, id: ^int32(id)})
 }
 
 // AfterID schedules the callback registered under id to run d from now.
@@ -281,32 +313,32 @@ func (s *Sim) AtID(t units.Time, id FnID) {
 //drill:hotpath
 func (s *Sim) AfterID(d units.Time, id FnID) { s.AtID(s.now+d, id) }
 
-// AtSeq schedules fn at absolute time t under a tie-break sequence number
-// previously allocated with ReserveSeq. It is the batched producers' arm
-// operation: a ring that reserved its entries' seqs at the instant the
-// unbatched design would have scheduled them re-arms one reusable callback
-// per firing, and the (t, seq) pair lands every dispatch in exactly the
-// slot the unbatched event stream gave it. Arming with a stale seq is
-// legitimate precisely because the ring preserved FIFO order; t must not
-// be in the past.
+// AtKey schedules fn at absolute time t under an event key previously
+// allocated with ReserveKey (or built with ArrivalKey). It is the batched
+// producers' arm operation: a ring that reserved its entries' keys at the
+// instant the unbatched design would have scheduled them re-arms one
+// reusable callback per firing, and the (t, key) pair lands every dispatch
+// in exactly the slot the unbatched event stream gave it. Arming with a
+// stale key is legitimate precisely because the ring preserved FIFO order;
+// t must not be in the past.
 //
 //drill:hotpath
-func (s *Sim) AtSeq(t units.Time, seq uint64, fn func()) {
+func (s *Sim) AtKey(t units.Time, key uint64, fn func()) {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
 	}
-	s.schedule(event{at: t, key: seq << keyShift, id: s.alloc(fn, nil)})
+	s.schedule(event{at: t, key: key, id: s.alloc(fn, nil)})
 }
 
-// AtSeqID is AtSeq over a callback registered with Register — the zero-
+// AtKeyID is AtKey over a callback registered with Register — the zero-
 // alloc arm operation the fabric's per-port rings use.
 //
 //drill:hotpath
-func (s *Sim) AtSeqID(t units.Time, seq uint64, id FnID) {
+func (s *Sim) AtKeyID(t units.Time, key uint64, id FnID) {
 	if t < s.now {
 		panic("sim: event scheduled in the past")
 	}
-	s.schedule(event{at: t, key: seq << keyShift, id: ^int32(id)})
+	s.schedule(event{at: t, key: key, id: ^int32(id)})
 }
 
 // After schedules fn to run d after the current time.
@@ -314,9 +346,30 @@ func (s *Sim) AtSeqID(t units.Time, seq uint64, id FnID) {
 //drill:hotpath
 func (s *Sim) After(d units.Time, fn func()) { s.At(s.now+d, fn) }
 
+// AtGlobal schedules fn at absolute time t as a global-class event.
+// Global events are the ones a sharded run executes at window barriers —
+// workload arrivals, control-plane reconvergence, warmup/end markers —
+// and they sort before every same-time local event, which is exactly when
+// a barrier runs them. Sequential runs use the same class so the two
+// engines dispatch in the same order.
+func (s *Sim) AtGlobal(t units.Time, fn func()) {
+	if t < s.now {
+		panic("sim: event scheduled in the past")
+	}
+	s.seq++
+	s.schedule(event{at: t, key: classGlobal | s.seq<<keyShift, id: s.alloc(fn, nil)})
+}
+
+// AfterGlobal schedules fn to run d from now as a global-class event.
+func (s *Sim) AfterGlobal(d units.Time, fn func()) { s.AtGlobal(s.now+d, fn) }
+
 // AfterDaemon schedules fn like After, but as a daemon event: Run treats a
 // queue holding only daemon events as drained. Periodic samplers and
 // decay tickers use this so they never keep a finished simulation alive.
+// Daemon events are global-class: in a sharded run they execute at window
+// barriers (the sampler reads every shard's ports, so every shard must be
+// parked), and the class order makes the sequential engine dispatch them
+// in the same pre-local slot a barrier gives them.
 func (s *Sim) AfterDaemon(d units.Time, fn func()) {
 	t := s.now + d
 	if t < s.now {
@@ -476,6 +529,42 @@ func (s *Sim) RunUntil(t units.Time) {
 		s.step()
 	}
 	if !s.halted && s.now < t {
+		s.now = t
+	}
+}
+
+// RunBefore dispatches events with time strictly less than t, then
+// advances the clock to t. It is the shard window primitive: a shard runs
+// everything inside the window [now, t) and parks exactly at the barrier,
+// leaving events at t itself for the window that opens there (barriers run
+// global events at t first). Like Run, it clears any previous halt.
+func (s *Sim) RunBefore(t units.Time) {
+	s.halted = false
+	for !s.halted && s.ensureNear() && s.peekAt() < t {
+		s.step()
+	}
+	if !s.halted && s.now < t {
+		s.now = t
+	}
+}
+
+// NextAt reports the timestamp of the earliest pending event, and whether
+// any event is pending at all. The window synchronizer uses it to size the
+// next window: min over shards of NextAt plus the lookahead bound is the
+// earliest instant any cross-shard effect can land.
+func (s *Sim) NextAt() (units.Time, bool) {
+	if !s.ensureNear() {
+		return 0, false
+	}
+	return s.peekAt(), true
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything. It
+// is only correct when no pending event lies before t — the window
+// synchronizer uses it to park idle shards at a barrier without paying a
+// goroutine dispatch. Moving backwards is a no-op.
+func (s *Sim) AdvanceTo(t units.Time) {
+	if t > s.now {
 		s.now = t
 	}
 }
@@ -729,19 +818,19 @@ func (t *Timer) Reset(d units.Time) {
 		t.detach()
 	}
 	s.seq++
-	s.schedule(event{at: s.now + d, key: s.seq<<keyShift | keyTracked, id: s.alloc(t.fn, t)})
+	s.schedule(event{at: s.now + d, key: classLocal | s.seq<<keyShift | keyTracked, id: s.alloc(t.fn, t)})
 }
 
-// ResetAt (re)schedules the timer to fire at absolute time at, under a
-// sequence number previously allocated with ReserveSeq. It is the batched
-// producers' arm operation: the (at, seq) pair decides dispatch order, so
-// an entry that waited in a per-port ring fires in exactly the slot the
-// old schedule-at-enqueue design gave it. Arming with a stale seq is
-// legitimate precisely because the ring preserved FIFO order; at must not
-// be in the past.
+// ResetAt (re)schedules the timer to fire at absolute time at, under an
+// event key previously allocated with ReserveKey or built with ArrivalKey.
+// It is the batched producers' arm operation: the (at, key) pair decides
+// dispatch order, so an entry that waited in a per-port ring fires in
+// exactly the slot the old schedule-at-enqueue design gave it. Arming with
+// a stale key is legitimate precisely because the ring preserved FIFO
+// order; at must not be in the past.
 //
 //drill:hotpath
-func (t *Timer) ResetAt(at units.Time, seq uint64) {
+func (t *Timer) ResetAt(at units.Time, key uint64) {
 	s := t.s
 	if at < s.now {
 		panic("sim: timer reset into the past")
@@ -749,7 +838,7 @@ func (t *Timer) ResetAt(at units.Time, seq uint64) {
 	if t.tier != tierNone {
 		t.detach()
 	}
-	s.schedule(event{at: at, key: seq<<keyShift | keyTracked, id: s.alloc(t.fn, t)})
+	s.schedule(event{at: at, key: key | keyTracked, id: s.alloc(t.fn, t)})
 }
 
 // Stop cancels the pending firing, if any, removing its scheduler entry

@@ -199,9 +199,9 @@ func TestWheelScheduleZeroAllocs(t *testing.T) {
 	}
 	id := s.Register(fn)
 	if a := testing.AllocsPerRun(2000, func() {
-		s.AtSeqID(s.Now()+bucketW, s.ReserveSeq(), id)
+		s.AtKeyID(s.Now()+bucketW, s.ReserveKey(), id)
 		s.RunUntil(s.Now() + 2*bucketW)
 	}); a != 0 {
-		t.Fatalf("AtSeqID arm/dispatch allocates %v allocs/op, want 0", a)
+		t.Fatalf("AtKeyID arm/dispatch allocates %v allocs/op, want 0", a)
 	}
 }

@@ -225,3 +225,40 @@ func (t *Topology) LinkBetween(a, b NodeID) []LinkID {
 	}
 	return ids
 }
+
+// Partition assigns every node to one of n shards for the sharded
+// simulation engine, returning the per-node shard index and the effective
+// shard count (n clamped to the leaf count — a shard with no leaves would
+// own no traffic sources and only slow the barrier down).
+//
+// Leaves are cut into n contiguous runs of Leaves order, hosts follow
+// their leaf — the host–leaf link is the hottest channel in the fabric and
+// must never be a shard boundary — and the remaining tiers (spines, aggs,
+// cores) round-robin across shards in node-ID order so every shard carries
+// a similar slice of the core. Cross-shard links are then exactly
+// leaf–spine/agg–core channels, whose propagation delay sets the
+// synchronizer's lookahead.
+func (t *Topology) Partition(n int) ([]int, int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(t.Leaves) && len(t.Leaves) > 0 {
+		n = len(t.Leaves)
+	}
+	assign := make([]int, len(t.Nodes))
+	for i, leaf := range t.Leaves {
+		assign[leaf] = i * n / len(t.Leaves)
+	}
+	for _, h := range t.Hosts {
+		assign[h] = assign[t.HostLeaf[h]]
+	}
+	j := 0
+	for _, nd := range t.Nodes {
+		switch nd.Kind {
+		case Spine, Agg, Core:
+			assign[nd.ID] = j % n
+			j++
+		}
+	}
+	return assign, n
+}

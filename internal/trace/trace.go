@@ -124,6 +124,14 @@ type Option func(*Tracer)
 // multiplexed into one file sink stay separable.
 func WithRun(run int32) Option { return func(t *Tracer) { t.run = run } }
 
+// Enabled reports whether events of kind k pass the tracer's kind mask.
+// A sharded run uses this to verify its tracer only carries kinds emitted
+// from barrier contexts (QueueSample, PortUtil): Emit's mask check is a
+// read-only early return, so disabled kinds are race-free to attempt from
+// shard goroutines, but an enabled data-plane kind would mutate the
+// per-kind counters from several shards at once.
+func (t *Tracer) Enabled(k Kind) bool { return t.mask&(1<<k) != 0 }
+
 // WithKinds restricts the tracer to the given kinds (default: all).
 func WithKinds(kinds ...Kind) Option {
 	return func(t *Tracer) {

@@ -8,11 +8,12 @@ import (
 	"drill/internal/units"
 )
 
-// simClock adapts the simulator to gro.Clock.
-type simClock struct{ reg *Registry }
+// simClock adapts a host agent's shard scheduler to gro.Clock, so shim
+// hold timers fire inside the host's shard.
+type simClock struct{ a *Agent }
 
-func (c simClock) Now() units.Time               { return c.reg.Sim.Now() }
-func (c simClock) After(d units.Time, fn func()) { c.reg.Sim.After(d, fn) }
+func (c simClock) Now() units.Time               { return c.a.sim.Now() }
+func (c simClock) After(d units.Time, fn func()) { c.a.sim.After(d, fn) }
 
 // Receiver is the TCP receive side of one flow: cumulative ACK generation
 // with immediate duplicate ACKs on out-of-order arrival (RFC 2581), plus
@@ -69,10 +70,10 @@ func newReceiver(a *Agent, first *fabric.Packet) *Receiver {
 	cfg := a.reg.Cfg
 	if cfg.ShimTimeout > 0 {
 		if cfg.AdaptiveShim {
-			r.shim = gro.NewAdaptiveReorderer(simClock{a.reg},
+			r.shim = gro.NewAdaptiveReorderer(simClock{a},
 				cfg.ShimTimeout/4, cfg.ShimTimeout/10, cfg.ShimTimeout, r.tcpRx)
 		} else {
-			r.shim = gro.NewReorderer(simClock{a.reg}, cfg.ShimTimeout, r.tcpRx)
+			r.shim = gro.NewReorderer(simClock{a}, cfg.ShimTimeout, r.tcpRx)
 		}
 	}
 	if cfg.TrackGRO {
@@ -88,9 +89,9 @@ func (r *Receiver) onData(pkt *fabric.Packet) {
 	r.lastECN = pkt.ECNCE
 	if pkt.TxSeq < r.txMax {
 		r.inversions++
-		r.agent.reg.Stats.OutOfOrder++
+		r.agent.stats.OutOfOrder++
 		if tr := r.agent.reg.tracer; tr != nil {
-			tr.Flow(trace.OutOfOrder, r.agent.reg.Sim.Now(), pkt.FlowID, pkt.Seq, float64(r.txMax-pkt.TxSeq))
+			tr.Flow(trace.OutOfOrder, r.agent.sim.Now(), pkt.FlowID, pkt.Seq, float64(r.txMax-pkt.TxSeq))
 		}
 		if m := r.agent.reg.met; m != nil {
 			m.outOfOrder.Inc()
@@ -105,12 +106,12 @@ func (r *Receiver) onData(pkt *fabric.Packet) {
 				best = h
 			}
 		}
-		r.agent.reg.Stats.InversionBlame[best]++
+		r.agent.stats.InversionBlame[best]++
 	} else {
 		r.txMax = pkt.TxSeq
 	}
 	r.prevWaits = pkt.HopWaitNs
-	r.prevArrive = r.agent.reg.Sim.Now()
+	r.prevArrive = r.agent.sim.Now()
 	seg := gro.Segment{Seq: pkt.Seq, Len: pkt.Len, Payload: pkt.EchoTS}
 	if r.shim != nil {
 		r.shim.Push(seg)
@@ -206,8 +207,8 @@ func (r *Receiver) close() {
 		return
 	}
 	r.reported = true
-	stats := &r.agent.reg.Stats
-	if r.agent.reg.Sim.Now() >= r.agent.reg.MeasureFrom {
+	stats := r.agent.stats
+	if r.agent.sim.Now() >= r.agent.reg.MeasureFrom {
 		stats.DupAcks.Add(r.dupAcks)
 		stats.WireReorders.Add(r.inversions)
 		if r.batcher != nil {

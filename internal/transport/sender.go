@@ -123,7 +123,7 @@ func (s *Sender) emit(seq int64, l int32) {
 	pkt.Seq = seq
 	pkt.Len = l
 	pkt.AckNo = s.size // data packets carry the flow size for the receiver
-	pkt.EchoTS = s.reg.Sim.Now()
+	pkt.EchoTS = s.agent.sim.Now()
 	pkt.TxSeq = s.txSeq
 	s.agent.host.Send(pkt)
 }
@@ -135,7 +135,7 @@ func (s *Sender) onAck(pkt *fabric.Packet) {
 	if s.done {
 		return
 	}
-	now := s.reg.Sim.Now()
+	now := s.agent.sim.Now()
 	// RTT sample from the echoed per-packet timestamp: valid even for
 	// retransmissions, since the echo identifies the copy that arrived.
 	s.sampleRTT(now - pkt.EchoTS)
@@ -222,9 +222,9 @@ func (s *Sender) retransmit() {
 		return
 	}
 	s.Retransmits++
-	s.reg.Stats.Retransmits++
+	s.agent.stats.Retransmits++
 	if tr := s.reg.tracer; tr != nil {
-		tr.Flow(trace.Retransmit, s.reg.Sim.Now(), s.id, s.sndUna, float64(l))
+		tr.Flow(trace.Retransmit, s.agent.sim.Now(), s.id, s.sndUna, float64(l))
 	}
 	if m := s.reg.met; m != nil {
 		m.retransmits.Inc()
@@ -276,9 +276,9 @@ func (s *Sender) onTimeout() {
 	if s.done {
 		return // defensive: finish() stops the timer, so this cannot fire
 	}
-	s.reg.Stats.Timeouts++
+	s.agent.stats.Timeouts++
 	if tr := s.reg.tracer; tr != nil {
-		tr.Flow(trace.Timeout, s.reg.Sim.Now(), s.id, s.sndUna, float64(s.backoff))
+		tr.Flow(trace.Timeout, s.agent.sim.Now(), s.id, s.sndUna, float64(s.backoff))
 	}
 	if m := s.reg.met; m != nil {
 		m.timeouts.Inc()
@@ -339,15 +339,15 @@ func (s *Sender) finish(now units.Time) {
 	s.done = true
 	s.rtoTimer.Stop() // remove the pending RTO from the sim heap eagerly
 	s.fct = now - s.start
-	s.reg.Stats.FlowsFinished++
+	s.agent.stats.FlowsFinished++
 	if m := s.reg.met; m != nil {
 		m.flowsDone.Inc()
 	}
 	if s.measured {
 		ms := s.fct.Millis()
-		s.reg.Stats.FCT.Add(ms)
+		s.agent.stats.FCT.Add(ms)
 		if s.class != "" {
-			s.reg.Stats.ClassDist(s.class).Add(ms)
+			s.agent.stats.ClassDist(s.class).Add(ms)
 		}
 		if m := s.reg.met; m != nil {
 			m.fct.Observe(s.fct.Micros())

@@ -13,6 +13,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"drill/internal/fabric"
 	"drill/internal/metrics"
@@ -138,6 +139,12 @@ type Registry struct {
 	Cfg   Config
 	Stats Stats
 
+	// shardStats holds one Stats block per shard domain under the sharded
+	// engine; agents accumulate into their shard's block and Fold merges
+	// them into Stats after the run. Nil (and unused) sequentially, where
+	// agents write Stats directly.
+	shardStats []Stats
+
 	agents   map[topo.NodeID]*Agent
 	nextFlow uint64
 	tracer   *trace.Tracer // the network's tracer, nil when tracing is off
@@ -156,11 +163,19 @@ func NewRegistry(s *sim.Sim, net *fabric.Network, cfg Config) *Registry {
 	cfg.defaults()
 	r := &Registry{Sim: s, Net: net, Cfg: cfg, agents: map[topo.NodeID]*Agent{},
 		tracer: net.Tracer()}
+	if net.Sharded() {
+		r.shardStats = make([]Stats, net.NumDomains())
+	}
 	for _, h := range net.Topo.Hosts {
 		host := net.Host(h)
 		a := &Agent{reg: r, host: host,
+			sim:       net.DomainSim(h),
+			stats:     &r.Stats,
 			senders:   map[uint64]*Sender{},
 			receivers: map[uint64]*Receiver{},
+		}
+		if net.Sharded() {
+			a.stats = &r.shardStats[net.DomainIndex(h)]
 		}
 		host.Handler = a
 		r.agents[h] = a
@@ -169,10 +184,16 @@ func NewRegistry(s *sim.Sim, net *fabric.Network, cfg Config) *Registry {
 }
 
 // Agent is the per-host transport endpoint; it demultiplexes delivered
-// packets to flow senders (ACKs) and receivers (data).
+// packets to flow senders (ACKs) and receivers (data). Its sim and stats
+// belong to the host's shard domain: every timer a flow arms, every clock
+// it reads, and every counter it bumps stays inside one shard, which is
+// what lets shards run their windows concurrently. Sequentially both
+// simply alias the registry's Sim and Stats.
 type Agent struct {
 	reg       *Registry
 	host      *fabric.Host
+	sim       *sim.Sim
+	stats     *Stats
 	senders   map[uint64]*Sender
 	receivers map[uint64]*Receiver
 }
@@ -205,8 +226,9 @@ func (r *Registry) StartFlow(src, dst topo.NodeID, size int64, class string) *Se
 	r.nextFlow++
 	r.Stats.FlowsStarted++
 	id := r.nextFlow
+	a := r.agents[src]
 	s := &Sender{
-		reg: r, agent: r.agents[src], id: id, dst: dst,
+		reg: r, agent: a, id: id, dst: dst,
 		size: size, class: class,
 		hash:     flowHash(id, src, dst),
 		cwnd:     r.Cfg.InitCwnd,
@@ -216,9 +238,10 @@ func (r *Registry) StartFlow(src, dst topo.NodeID, size int64, class string) *Se
 		measured: r.Sim.Now() >= r.MeasureFrom,
 	}
 	// The flow's one RTO timer: allocated once here, re-armed in place for
-	// the flow's whole lifetime.
-	s.rtoTimer = r.Sim.NewTimer(s.onTimeout)
-	r.agents[src].senders[id] = s
+	// the flow's whole lifetime. It lives in the source host's scheduler
+	// so retransmission timeouts fire inside the host's shard.
+	s.rtoTimer = a.sim.NewTimer(s.onTimeout)
+	a.senders[id] = s
 	s.trySend()
 	return s
 }
@@ -233,6 +256,43 @@ func flowHash(id uint64, src, dst topo.NodeID) uint32 {
 	}
 	h *= 0x9e3779b1
 	return uint32(h>>32) ^ uint32(h)
+}
+
+// Fold merges the per-shard stat blocks into r.Stats, in shard-ID order.
+// Every merged quantity is either an integer total or a sample multiset
+// (Dist, IntHist), so the folded result carries the same counts, order
+// statistics, and sorted-sample hashes as a sequential run — only
+// insertion order (and therefore nothing a fingerprint reads) differs.
+// Call once after the run drains; a no-op sequentially. FlowsStarted is
+// not folded: StartFlow runs in barrier context and counts it on r.Stats
+// directly.
+func (r *Registry) Fold() {
+	for i := range r.shardStats {
+		ss := &r.shardStats[i]
+		r.Stats.FCT.AddDist(&ss.FCT)
+		classes := make([]string, 0, len(ss.FCTByClass))
+		//drill:allow nondeterminism collecting map keys before sorting is order-independent
+		for c := range ss.FCTByClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			r.Stats.ClassDist(c).AddDist(ss.FCTByClass[c])
+		}
+		r.Stats.DupAcks.Merge(&ss.DupAcks)
+		r.Stats.WireReorders.Merge(&ss.WireReorders)
+		for h := range ss.InversionBlame {
+			r.Stats.InversionBlame[h] += ss.InversionBlame[h]
+		}
+		r.Stats.GROBatches += ss.GROBatches
+		r.Stats.GROSegments += ss.GROSegments
+		r.Stats.ShimFlushes += ss.ShimFlushes
+		r.Stats.Retransmits += ss.Retransmits
+		r.Stats.Timeouts += ss.Timeouts
+		r.Stats.FlowsFinished += ss.FlowsFinished
+		r.Stats.OutOfOrder += ss.OutOfOrder
+		r.shardStats[i] = Stats{}
+	}
 }
 
 func (r *Registry) String() string {

@@ -96,7 +96,9 @@ func (g *Generator) next() {
 	if at > g.Until {
 		return
 	}
-	g.Reg.Sim.At(at, func() {
+	// Flow arrivals steer hosts in any shard, so they are barrier-class
+	// (global) events under the sharded engine.
+	g.Reg.Sim.AtGlobal(at, func() {
 		g.launch()
 		g.next()
 	})
@@ -177,7 +179,7 @@ func (i *Incast) schedule(at units.Time) {
 	if at > i.Until {
 		return
 	}
-	i.Reg.Sim.At(at, func() {
+	i.Reg.Sim.AtGlobal(at, func() {
 		i.fire()
 		i.schedule(at + i.Period)
 	})

@@ -127,7 +127,7 @@ func (s *Synthetic) scheduleMice(at units.Time) {
 	if at > s.Until {
 		return
 	}
-	s.Reg.Sim.At(at, func() {
+	s.Reg.Sim.AtGlobal(at, func() {
 		t := s.Reg.Net.Topo
 		src := t.Hosts[s.rng.Intn(len(t.Hosts))]
 		var dst topo.NodeID
