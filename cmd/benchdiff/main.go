@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_wheel.json -current BENCH_new.json [-json diff.json] [-md summary.md] [-strict]
+//	benchdiff -baseline BENCH_shard.json -current BENCH_new.json [-json diff.json] [-md summary.md] [-strict]
 //
 // Without -strict the exit status is 0 even when regressions are found,
 // so callers can treat the diff as advisory; -strict exits 1 on any

@@ -1,6 +1,7 @@
 // Drillvet is the repo's custom static-analysis suite, enforcing the
-// determinism, hot-path, simulated-time, and units invariants that the
-// DRILL reproduction's results rest on (see internal/lint).
+// determinism, hot-path, simulated-time, units, shard-confinement, and
+// allocation-budget invariants that the DRILL reproduction's results
+// rest on (see internal/lint).
 //
 // It is a go vet tool: build it once, then hand it to the vet driver,
 // which runs each analyzer per compilation unit with full type
@@ -13,7 +14,12 @@
 //
 //	//drill:allow <analyzer> <reason>
 //
-// Stale pragmas (suppressing nothing) are themselves findings.
+// and nonzero hot-path allocation budgets are declared with one:
+//
+//	//drill:allocs <n> <reason>
+//
+// Stale pragmas (suppressing nothing, or budgeting more allocation
+// sites than the function has) are themselves findings.
 package main
 
 import (

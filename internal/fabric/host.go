@@ -37,6 +37,7 @@ func (h *Host) Net() *Network { return h.net }
 // shifts where recycled packets come from, never correctness.
 //
 //drill:hotpath
+//drill:allocs 1 the Cfg.DisablePool bypass allocates a fresh packet
 func (h *Host) AllocPacket() *Packet {
 	if h.net.Cfg.DisablePool {
 		return &Packet{}

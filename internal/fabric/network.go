@@ -169,6 +169,7 @@ type Network struct {
 // deliver/drop sites; with Cfg.DisablePool it is a plain allocation.
 //
 //drill:hotpath
+//drill:allocs 1 the Cfg.DisablePool bypass allocates a fresh packet
 func (n *Network) AllocPacket() *Packet {
 	if n.Cfg.DisablePool {
 		return &Packet{}
@@ -498,6 +499,7 @@ func classifyHop(t *topo.Topology, c topo.Chan) metrics.HopClass {
 // enqueue places pkt on port p at the current time, dropping on overflow.
 //
 //drill:hotpath
+//drill:allocs 1 visibility closure on the legacy DisableBatch path, off by default
 func (n *Network) enqueue(p *Port, pkt *Packet) {
 	d := p.dom
 	if !p.up {
@@ -575,6 +577,7 @@ func (n *Network) visFire(p *Port) {
 // transmit serializes the head-of-line packet onto the link.
 //
 //drill:hotpath
+//drill:allocs 1 txDone closure on the legacy DisableBatch path, off by default
 func (n *Network) transmit(p *Port) {
 	d := p.dom
 	pkt := p.queue[p.head] // head stays queued while in service
@@ -604,6 +607,7 @@ func (n *Network) transmit(p *Port) {
 }
 
 //drill:hotpath
+//drill:allocs 2 arrive closure on the legacy DisableBatch path, and outbox growth that amortizes across epochs
 func (n *Network) txDone(p *Port) {
 	d := p.dom
 	pkt := p.popQueue()
@@ -672,6 +676,7 @@ func (n *Network) wireFire(p *Port) {
 	e := p.wireRing.pop()
 	if !p.wireRing.empty() {
 		h := p.wireRing.peek()
+		//drill:allow shardconfine wireFire runs on the destination shard: propagation delay exceeds the epoch, so the reserved slot is shard-local by the exchange invariant
 		p.dstDom.sim.AtKeyID(h.at, h.key, p.wireID)
 	}
 	n.arrive(e.pkt, p.To, p.Chan)
@@ -703,6 +708,7 @@ func (n *Network) drainPort(p *Port) {
 //
 //drill:hotpath
 func (n *Network) arrive(pkt *Packet, at topo.NodeID, in topo.ChanID) {
+	//drill:allow shardconfine arrive executes on the shard that owns node `at`: the wire hop onto this shard already crossed on the exchange path
 	d := n.domByNode[at]
 	if h := n.hostByNode[at]; h != nil {
 		*d.delivered++

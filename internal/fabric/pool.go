@@ -45,6 +45,7 @@ const (
 // Get returns a zeroed packet, recycling a shelved one when available.
 //
 //drill:hotpath
+//drill:allocs 1 a pool miss allocates the packet; steady state recycles
 func (pp *PacketPool) Get() *Packet {
 	pp.Gets++
 	if n := len(pp.free); n > 0 {
@@ -63,6 +64,7 @@ func (pp *PacketPool) Get() *Packet {
 // unconditionally.
 //
 //drill:hotpath
+//drill:allocs 1 free-list growth amortizes to zero once the pool reaches its high-water mark
 func (pp *PacketPool) Put(p *Packet) {
 	switch p.poolState {
 	case poolNone:

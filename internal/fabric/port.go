@@ -95,6 +95,7 @@ func (p *Port) QueueLen() int32 { return p.QPkts }
 func (p *Port) VisibleBytes() int64 { return p.VisBytes }
 
 //drill:hotpath
+//drill:allocs 1 queue growth amortizes; capacity is retained across pops
 func (p *Port) pushQueue(pkt *Packet) {
 	p.queue = append(p.queue, pkt)
 }

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// AllocBudget is the per-function allocation accountant for the packet
+// hot path. Every //drill:hotpath function has an allocation budget —
+// zero by default — and the analyzer statically counts the sites in its
+// body that can heap-allocate per call:
+//
+//   - new(T) and make(...) calls
+//   - &T{...} composite literals (conservatively assumed to escape:
+//     hot-path constructors hand their result to the caller)
+//   - slice and map composite literals (backing storage)
+//   - append(...) calls (growth may reallocate the backing array)
+//   - capturing function literals (the closure cell)
+//   - explicit conversions to interface types (boxing)
+//   - string concatenation (also banned outright by the hotpath
+//     analyzer; counted here so the bookkeeping is complete)
+//
+// A function whose count exceeds its budget is a finding. A nonzero
+// budget is declared — with a reason — by a //drill:allocs <n> pragma in
+// the function's doc comment (validated by drillpragma), and the budget
+// must be exact: a pragma claiming more sites than remain is reported as
+// stale, the same contract the //drill:allow escape hatch lives under.
+// Counting is per call site and static: a site inside a loop still
+// counts once, because the check exists to force every allocating
+// expression on the hot path to be acknowledged, not to bound dynamic
+// allocation totals (the alloc-ceiling benchmarks do that).
+//
+// Sites inside nested function literals are not charged to the enclosing
+// function — the literal allocates when it runs, and the literal itself
+// (if it captures) is the enclosing function's cost.
+var AllocBudget = &analysis.Analyzer{
+	Name: "allocbudget",
+	Doc: "count static allocation sites in //drill:hotpath functions against " +
+		"their declared //drill:allocs budget (default 0)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAllocBudget,
+}
+
+// allocSite is one statically-counted allocation in a hot function.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+func runAllocBudget(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "allocbudget")
+	defer sup.stale()
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !isHotPathFunc(fd) || fd.Body == nil {
+			return
+		}
+		if isTestFile(pass, fileOf(pass, ins, fd)) {
+			return
+		}
+		checkAllocBudget(pass, sup, fd)
+	})
+	return nil, nil
+}
+
+func checkAllocBudget(pass *analysis.Pass, sup *suppressor, fd *ast.FuncDecl) {
+	sites := countAllocSites(pass, fd)
+	budget, budgetPos, declared := allocsBudget(fd)
+
+	switch {
+	case len(sites) > budget:
+		fset := pass.Fset
+		var descs []string
+		for _, s := range sites {
+			descs = append(descs, fmt.Sprintf("%s at line %d", s.what, fset.Position(s.pos).Line))
+		}
+		const keep = 4
+		if len(descs) > keep {
+			descs = append(descs[:keep], fmt.Sprintf("and %d more", len(descs)-keep))
+		}
+		have := "no //drill:allocs budget (default 0)"
+		if declared {
+			have = fmt.Sprintf("a //drill:allocs budget of %d", budget)
+		}
+		sup.Reportf(fd.Name.Pos(),
+			"//drill:hotpath function %s has %d allocation site(s) — %s — but %s; remove the allocation(s) or declare //drill:allocs %d <reason>",
+			fd.Name.Name, len(sites), strings.Join(descs, ", "), have, len(sites))
+	case declared && len(sites) < budget:
+		// An over-declared budget is the alloc analogue of a stale
+		// //drill:allow: the acknowledged cost no longer exists, so the
+		// pragma must shrink with the code.
+		sup.Reportf(budgetPos,
+			"stale //drill:allocs %d: function %s has only %d allocation site(s); tighten the budget to match",
+			budget, fd.Name.Name, len(sites))
+	}
+}
+
+// countAllocSites statically counts the allocation sites in a hot
+// function's body, not descending into nested function literals (each
+// literal is counted as one site if it captures, and its own body is its
+// own cost when it runs).
+func countAllocSites(pass *analysis.Pass, fd *ast.FuncDecl) []allocSite {
+	info := pass.TypesInfo
+	var sites []allocSite
+	add := func(pos token.Pos, what string) {
+		sites = append(sites, allocSite{pos: pos, what: what})
+	}
+
+	// Composite literals consumed by an enclosing &T{...} are counted at
+	// the & (one heap object, not two).
+	addressed := make(map[*ast.CompositeLit]bool)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesOuterState(info, n) {
+				add(n.Pos(), "capturing func literal")
+			}
+			return false
+		case *ast.CallExpr:
+			// panic() arguments only run on the crash path; the hotpath
+			// analyzer exempts them from the boxing ban for the same
+			// reason, and a cold panic message is not a hot allocation.
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "panic":
+						return false
+					case "new":
+						add(n.Pos(), "new")
+						return true
+					case "make":
+						add(n.Pos(), "make")
+						return true
+					case "append":
+						add(n.Pos(), "append (may grow)")
+						return true
+					}
+				}
+			}
+			// Explicit conversion to an interface type boxes the operand.
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && types.IsInterface(tv.Type) && len(n.Args) == 1 {
+				if got := info.TypeOf(n.Args[0]); got != nil && !types.IsInterface(got) {
+					add(n.Pos(), "interface conversion")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					addressed[cl] = true
+					add(n.Pos(), "&composite literal")
+				}
+			}
+		case *ast.CompositeLit:
+			if addressed[n] {
+				return true
+			}
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal")
+			case *types.Map:
+				add(n.Pos(), "map literal")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				add(n.OpPos, "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				add(n.TokPos, "string concatenation")
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return sites
+}
+
+// capturesOuterState reports whether the literal references a variable
+// declared outside itself in some enclosing function scope — the case
+// where the closure needs a heap cell. A literal that touches only its
+// own parameters, locals, and package-level state is a static function
+// value and does not allocate.
+func capturesOuterState(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Package-level variables are not captured state.
+		if obj.Parent() == nil || obj.Pkg() == nil || obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		// Declared inside the literal (param or local): not a capture.
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return true
+		}
+		captures = true
+		return false
+	})
+	return captures
+}

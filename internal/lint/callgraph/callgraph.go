@@ -1,0 +1,368 @@
+// Package callgraph builds a static, types-based call graph of one
+// package — the reachability substrate for drillvet's shardconfine
+// analyzer. The driver is unitchecker (one compilation unit at a time,
+// no SSA, no go/packages), so the graph is deliberately per-package and
+// CHA-style:
+//
+//   - Nodes are declared functions/methods with bodies plus every
+//     function literal (literals are their own nodes, not part of the
+//     enclosing function: creating a closure does not run it).
+//   - Static calls (direct function calls, concrete method calls,
+//     promoted methods) edge to the callee when its body is in this
+//     package.
+//   - Interface method calls edge, class-hierarchy-analysis style, to
+//     the corresponding method of every package-local type that
+//     implements the interface.
+//   - Dynamic calls through function values edge to every address-taken
+//     package-local function whose signature matches — plus each literal
+//     is conservatively reachable from the function that lexically
+//     creates it, so a closure handed to another package (a scheduler, a
+//     ticker) is charged to its creator.
+//
+// Calls whose target lives in another package fall off the graph edge;
+// that package is analyzed on its own, so per-package reachability
+// composes with the per-package checks built on top of it.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Node is one function in the graph: either a declared function/method
+// (Fn set, Decl set) or a function literal (Lit set, Encl naming the
+// declared function lexically containing it, nil at file scope).
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	Encl *types.Func
+
+	callees []*Node
+	edges   map[*Node]bool
+}
+
+// Callees returns the node's outgoing edges in insertion order.
+func (n *Node) Callees() []*Node { return n.callees }
+
+// Body returns the node's function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Name returns a human-readable name for diagnostics: the function's
+// qualified name, or "func literal in <enclosing>" for literals.
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		return n.Fn.Name()
+	}
+	if n.Encl != nil {
+		return "function literal in " + n.Encl.Name()
+	}
+	return "function literal"
+}
+
+// Graph is the package's call graph.
+type Graph struct {
+	info *types.Info
+	pkg  *types.Package
+
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+	nodes  []*Node
+
+	// addrTaken lists declared functions whose value escapes (referenced
+	// outside call position); dynamic calls resolve against it.
+	addrTaken []*Node
+	// localTypes lists the package's named non-interface types, the CHA
+	// candidate set for interface dispatch.
+	localTypes []types.Type
+}
+
+// NodeOf returns the node for a declared function, or nil if its body is
+// not in this package.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// LitNode returns the node for a function literal.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Nodes returns every node in file order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Build constructs the call graph of the given files (one type-checked
+// package). Files the caller wants excluded (tests) are simply not
+// passed in.
+func Build(files []*ast.File, info *types.Info, pkg *types.Package) *Graph {
+	g := &Graph{
+		info:   info,
+		pkg:    pkg,
+		byFunc: make(map[*types.Func]*Node),
+		byLit:  make(map[*ast.FuncLit]*Node),
+	}
+	g.collectNodes(files)
+	g.collectLocalTypes()
+	g.collectAddrTaken(files)
+	for _, n := range g.nodes {
+		g.addEdges(n)
+	}
+	return g
+}
+
+// collectNodes indexes every declared function with a body and every
+// function literal.
+func (g *Graph) collectNodes(files []*ast.File) {
+	for _, f := range files {
+		var encl *types.Func
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn, _ := g.info.Defs[n.Name].(*types.Func)
+				if fn == nil || n.Body == nil {
+					return false
+				}
+				node := &Node{Fn: fn, Decl: n, edges: make(map[*Node]bool)}
+				g.byFunc[fn] = node
+				g.nodes = append(g.nodes, node)
+				encl = fn
+			case *ast.FuncLit:
+				node := &Node{Lit: n, Encl: encl, edges: make(map[*Node]bool)}
+				g.byLit[n] = node
+				g.nodes = append(g.nodes, node)
+			}
+			return true
+		})
+	}
+}
+
+// collectLocalTypes gathers the package's named non-interface types for
+// CHA interface dispatch.
+func (g *Graph) collectLocalTypes() {
+	scope := g.pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		g.localTypes = append(g.localTypes, t)
+	}
+}
+
+// collectAddrTaken marks declared functions referenced outside call
+// position (stored, passed, compared): the dynamic-dispatch candidates.
+func (g *Graph) collectAddrTaken(files []*ast.File) {
+	seen := make(map[*Node]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				// The callee expression itself is a call position, but
+				// its arguments are value positions, handled as children.
+				for _, arg := range call.Args {
+					g.markFuncValues(arg, seen)
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident, *ast.SelectorExpr:
+					_ = fun // direct call: not address-taken
+				default:
+					g.markFuncValues(call.Fun, seen)
+				}
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					g.markFuncValues(rhs, seen)
+				}
+				return true
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					g.markFuncValues(v, seen)
+				}
+				return true
+			case *ast.CompositeLit:
+				for _, e := range n.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						g.markFuncValues(kv.Value, seen)
+					} else {
+						g.markFuncValues(e, seen)
+					}
+				}
+				return true
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					g.markFuncValues(r, seen)
+				}
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// markFuncValues records declared functions named by expr (an ident or a
+// method-value selector) as address-taken. It looks only at the top
+// expression; nested uses are visited by the enclosing Inspect.
+func (g *Graph) markFuncValues(expr ast.Expr, seen map[*Node]bool) {
+	fn := g.FuncFor(expr)
+	if fn == nil {
+		return
+	}
+	if node := g.byFunc[fn]; node != nil && !seen[node] {
+		seen[node] = true
+		g.addrTaken = append(g.addrTaken, node)
+	}
+}
+
+// FuncFor resolves an expression naming a function value — a function
+// identifier or a method value like h.onTimeout — to its *types.Func,
+// or nil.
+func (g *Graph) FuncFor(expr ast.Expr) *types.Func {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		fn, _ := g.info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := g.info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		fn, _ := g.info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// addEdge records caller→callee once.
+func (g *Graph) addEdge(from, to *Node) {
+	if to == nil || from.edges[to] {
+		return
+	}
+	from.edges[to] = true
+	from.callees = append(from.callees, to)
+}
+
+// addEdges walks one node's own body (literals nested inside belong to
+// their own nodes) and adds its outgoing edges.
+func (g *Graph) addEdges(n *Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	var walk func(ast.Node) bool
+	walk = func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// A literal is conservatively reachable from its creator:
+			// whoever builds the closure is on the hook for what it does,
+			// wherever it ends up running.
+			g.addEdge(n, g.byLit[x])
+			return false
+		case *ast.CallExpr:
+			g.addCallEdges(n, x)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// addCallEdges resolves one call expression to zero or more callees.
+func (g *Graph) addCallEdges(n *Node, call *ast.CallExpr) {
+	// Direct literal invocation: func(){...}().
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		g.addEdge(n, g.byLit[lit])
+		return
+	}
+	// Static callee: direct calls, concrete (incl. promoted) methods.
+	if fn := typeutil.StaticCallee(g.info, call); fn != nil {
+		g.addEdge(n, g.byFunc[fn])
+		return
+	}
+	// Interface method call: CHA over package-local implementers.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := g.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if types.IsInterface(s.Recv()) {
+				g.addInterfaceEdges(n, s)
+				return
+			}
+		}
+	}
+	// Conversion, builtin, or a dynamic call through a function value.
+	if tv, ok := g.info.Types[call.Fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return
+	}
+	sig, ok := g.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	g.addDynamicEdges(n, sig)
+}
+
+// addInterfaceEdges adds CHA edges for an interface method call: every
+// package-local type implementing the interface contributes its method.
+func (g *Graph) addInterfaceEdges(n *Node, s *types.Selection) {
+	iface, ok := s.Recv().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	name := s.Obj().Name()
+	for _, t := range g.localTypes {
+		impl := types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+		if !impl {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, g.pkg, name)
+		if fn, ok := obj.(*types.Func); ok {
+			g.addEdge(n, g.byFunc[fn])
+		}
+	}
+}
+
+// addDynamicEdges adds edges for a call through a function value: every
+// address-taken declared function whose value signature matches could be
+// the target.
+func (g *Graph) addDynamicEdges(n *Node, sig *types.Signature) {
+	for _, cand := range g.addrTaken {
+		csig, ok := cand.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		// Compare as values: a method value's signature drops the
+		// receiver, so match parameter and result tuples.
+		if types.Identical(sig.Params(), csig.Params()) && types.Identical(sig.Results(), csig.Results()) {
+			g.addEdge(n, cand)
+		}
+	}
+}
+
+// Reachable computes the set of nodes reachable from roots (inclusive).
+func (g *Graph) Reachable(roots []*Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var stack []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range n.callees {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return seen
+}

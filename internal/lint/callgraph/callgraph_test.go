@@ -1,0 +1,193 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load type-checks one source string as a package and builds its graph.
+func load(t *testing.T, src string) (*Graph, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Build([]*ast.File{f}, info, pkg), pkg
+}
+
+// node looks up a declared function or method by "Name" or "Recv.Name".
+func node(t *testing.T, g *Graph, pkg *types.Package, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Fn != nil && funcLabel(n.Fn) == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q", name)
+	return nil
+}
+
+func funcLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func calls(n *Node, m *Node) bool {
+	for _, c := range n.Callees() {
+		if c == m {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticAndMethodEdges(t *testing.T) {
+	g, pkg := load(t, `package p
+type S struct{}
+func (s *S) m() { helper() }
+func helper()  {}
+func top()     { var s S; s.m() }
+`)
+	top, m, helper := node(t, g, pkg, "top"), node(t, g, pkg, "S.m"), node(t, g, pkg, "helper")
+	if !calls(top, m) {
+		t.Errorf("top should call S.m")
+	}
+	if !calls(m, helper) {
+		t.Errorf("S.m should call helper")
+	}
+	reach := g.Reachable([]*Node{top})
+	if !reach[helper] {
+		t.Errorf("helper should be reachable from top")
+	}
+}
+
+func TestInterfaceCHAEdges(t *testing.T) {
+	g, pkg := load(t, `package p
+type doer interface{ do() }
+type a struct{}
+func (a) do() {}
+type b struct{}
+func (*b) do() {}
+type c struct{}
+func (c) other() {}
+func drive(d doer) { d.do() }
+`)
+	drive := node(t, g, pkg, "drive")
+	ado, bdo := node(t, g, pkg, "a.do"), node(t, g, pkg, "b.do")
+	if !calls(drive, ado) || !calls(drive, bdo) {
+		t.Errorf("drive should CHA-edge to both a.do and b.do; callees: %v", names(drive))
+	}
+	if len(drive.Callees()) != 2 {
+		t.Errorf("drive has %d callees, want 2: %v", len(drive.Callees()), names(drive))
+	}
+}
+
+func TestLiteralAndDynamicEdges(t *testing.T) {
+	g, pkg := load(t, `package p
+var hook func()
+func target() {}
+func install() { hook = target }
+func fire()    { hook() }
+func creator() {
+	f := func() { target() }
+	_ = f
+}
+`)
+	fire, target := node(t, g, pkg, "fire"), node(t, g, pkg, "target")
+	if !calls(fire, target) {
+		t.Errorf("dynamic call should edge to the address-taken target")
+	}
+	creator := node(t, g, pkg, "creator")
+	reach := g.Reachable([]*Node{creator})
+	if !reach[target] {
+		t.Errorf("creator should reach target through its literal")
+	}
+	// The literal node exists and is charged to its creator.
+	litSeen := false
+	for _, n := range g.Nodes() {
+		if n.Lit != nil {
+			litSeen = true
+			if n.Encl == nil || n.Encl.Name() != "creator" {
+				t.Errorf("literal's Encl = %v, want creator", n.Encl)
+			}
+		}
+	}
+	if !litSeen {
+		t.Errorf("no literal node recorded")
+	}
+}
+
+func TestMethodValueIsAddressTaken(t *testing.T) {
+	g, pkg := load(t, `package p
+type w struct{}
+func (w *w) tick() {}
+type reg struct{ fn func() }
+func (r *reg) set(fn func()) { r.fn = fn }
+func (r *reg) run()          { r.fn() }
+func wire(r *reg, ww *w)     { r.set(ww.tick) }
+`)
+	run, tick := node(t, g, pkg, "reg.run"), node(t, g, pkg, "w.tick")
+	if !calls(run, tick) {
+		t.Errorf("run's dynamic call should edge to the method value w.tick")
+	}
+}
+
+func TestFuncFor(t *testing.T) {
+	g, pkg := load(t, `package p
+type h struct{}
+func (h *h) onTimeout() {}
+func free()             {}
+func use(hh *h) {
+	_ = free
+	_ = hh.onTimeout
+}
+`)
+	_ = pkg
+	found := map[string]bool{}
+	for _, n := range g.Nodes() {
+		if n.Decl != nil && n.Fn.Name() == "use" {
+			ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+				if as, ok := x.(*ast.AssignStmt); ok {
+					if fn := g.FuncFor(as.Rhs[0]); fn != nil {
+						found[fn.Name()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !found["free"] || !found["onTimeout"] {
+		t.Errorf("FuncFor resolved %v, want free and onTimeout", found)
+	}
+}
+
+func names(n *Node) []string {
+	var out []string
+	for _, c := range n.Callees() {
+		out = append(out, c.Name())
+	}
+	return out
+}

@@ -12,6 +12,17 @@
 //     into simulated units.Time timestamps anywhere in the tree.
 //   - units: raw integer literals may not be used where internal/units
 //     quantity types (Time, ByteSize, Rate) are expected.
+//   - shardconfine: code reachable from the shard-worker entry points
+//     (computed over a typed per-package call graph) may only touch
+//     shard-local state — no package-level variables, no domain
+//     pointers outside the ExchangeShards path, and no balancer whose
+//     decision path reaches shared state without the fabric.ShardUnsafe
+//     marker — the sharded engine's byte-identity proof depends on it.
+//   - allocbudget: //drill:hotpath functions carry a static allocation
+//     budget (zero unless a //drill:allocs <n> pragma declares more),
+//     counting new/make/composite-literal, append, closure-capture,
+//     boxing, and string-concat sites — the allocs/event trajectory
+//     depends on it.
 //   - pragma: validates //drill: directive comments themselves.
 //
 // Any finding can be suppressed, with an audit trail, by the escape
@@ -42,6 +53,8 @@ func Analyzers() []*analysis.Analyzer {
 		HotPath,
 		SimTime,
 		Units,
+		ShardConfine,
+		AllocBudget,
 	}
 }
 
@@ -51,6 +64,8 @@ var analyzerNames = map[string]bool{
 	"hotpath":        true,
 	"simtime":        true,
 	"units":          true,
+	"shardconfine":   true,
+	"allocbudget":    true,
 }
 
 // simPackageSuffixes lists the simulation packages whose code must be

@@ -40,10 +40,35 @@ func TestUnits(t *testing.T) {
 	linttest.Run(t, "testdata", Units, "fix/unitsuse")
 }
 
+func TestAllocBudget(t *testing.T) {
+	linttest.Run(t, "testdata", AllocBudget, "fix/allocs")
+}
+
+// TestShardConfineFabric proves the worker-reachability checks: goroutine
+// bodies and shard-scheduled callbacks in the fixture fabric may not
+// touch package state, select the global scheduler, or move domain
+// pointers outside shard.go.
+func TestShardConfineFabric(t *testing.T) {
+	linttest.Run(t, "testdata", ShardConfine, "fix/confine/internal/fabric")
+}
+
+// TestShardConfineBalancers proves the marker check: schemes whose
+// decision path reaches shared state must carry fabric.ShardUnsafe, and
+// marked or pure schemes stay silent.
+func TestShardConfineBalancers(t *testing.T) {
+	linttest.Run(t, "testdata", ShardConfine, "fix/confine/internal/lb")
+}
+
+func TestShardConfineSkipsNonSimPackages(t *testing.T) {
+	if diags := linttest.Diagnostics(t, "testdata", ShardConfine, "fix/plain"); len(diags) != 0 {
+		t.Fatalf("shardconfine fired outside simulation packages: %v", diags)
+	}
+}
+
 func TestAnalyzersRegistry(t *testing.T) {
 	all := Analyzers()
-	if len(all) != 5 {
-		t.Fatalf("Analyzers() = %d analyzers, want 5", len(all))
+	if len(all) != 7 {
+		t.Fatalf("Analyzers() = %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

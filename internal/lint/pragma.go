@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -30,7 +31,9 @@ type pragmaError struct {
 // parsePragma parses a single comment's text (including the leading //).
 // It returns (nil, nil) for comments that are not //drill: directives,
 // a pragma for well-formed //drill:allow comments, and an error message
-// for malformed ones. //drill:hotpath is validated separately.
+// for malformed ones. //drill:hotpath and //drill:allocs carry no
+// suppression payload, so well-formed instances also return (nil, "");
+// their placement is validated separately by the pragma analyzer.
 func parsePragma(text string) (*allowPragma, string) {
 	const prefix = "//drill:"
 	if !strings.HasPrefix(text, prefix) {
@@ -42,6 +45,11 @@ func parsePragma(text string) (*allowPragma, string) {
 	case "hotpath":
 		if strings.TrimSpace(rest) != "" {
 			return nil, "//drill:hotpath takes no arguments"
+		}
+		return nil, ""
+	case "allocs":
+		if _, msg := parseAllocsBudget(rest); msg != "" {
+			return nil, msg
 		}
 		return nil, ""
 	case "allow":
@@ -58,8 +66,53 @@ func parsePragma(text string) (*allowPragma, string) {
 		}
 		return &allowPragma{Analyzer: name, Reason: strings.TrimSpace(reason)}, ""
 	default:
-		return nil, fmt.Sprintf("unknown directive //drill:%s (valid: allow, hotpath)", directive)
+		return nil, fmt.Sprintf("unknown directive //drill:%s (valid: allocs, allow, hotpath)", directive)
 	}
+}
+
+// parseAllocsBudget parses the argument text of a //drill:allocs
+// directive ("<n> [reason]") and returns the declared budget, or a
+// rejection message. A budget must be a positive integer: zero is the
+// default for every //drill:hotpath function, so declaring it is noise.
+func parseAllocsBudget(rest string) (int, string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, "malformed //drill:allocs: want //drill:allocs <n> [reason] with n >= 1"
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, fmt.Sprintf("malformed //drill:allocs: budget %q is not an integer (want //drill:allocs <n> [reason])", fields[0])
+	}
+	if n == 0 {
+		return 0, "//drill:allocs 0 is the default for //drill:hotpath functions; remove the pragma"
+	}
+	if n < 0 {
+		return 0, fmt.Sprintf("//drill:allocs budget must be positive, got %d", n)
+	}
+	return n, ""
+}
+
+// allocsBudget scans a function declaration's doc comment for a
+// well-formed //drill:allocs directive and returns its budget and
+// position. Malformed directives are skipped here (the pragma analyzer
+// reports them); if several well-formed directives appear, the first
+// wins (duplicates are a pragma-analyzer finding too).
+func allocsBudget(fd *ast.FuncDecl) (n int, pos token.Pos, ok bool) {
+	if fd.Doc == nil {
+		return 0, token.NoPos, false
+	}
+	for _, c := range fd.Doc.List {
+		rest, found := strings.CutPrefix(c.Text, "//drill:allocs")
+		if !found {
+			continue
+		}
+		budget, msg := parseAllocsBudget(rest)
+		if msg != "" {
+			continue
+		}
+		return budget, c.Pos(), true
+	}
+	return 0, token.NoPos, false
 }
 
 func sortedAnalyzerNames() []string {
@@ -153,37 +206,57 @@ func (s *suppressor) stale() {
 
 // Pragma validates //drill: directive comments themselves: unknown
 // directives, missing analyzer names or reasons, unknown analyzer names,
-// and //drill:hotpath markers that are not attached to a function
-// declaration's doc comment.
+// //drill:hotpath markers that are not attached to a function
+// declaration's doc comment, and //drill:allocs budgets that are
+// malformed, detached from a function doc, missing the //drill:hotpath
+// marker they qualify, or duplicated on one declaration.
 var Pragma = &analysis.Analyzer{
 	Name: "drillpragma",
 	Doc: "check that //drill: directives are well-formed: " +
-		"//drill:allow <analyzer> <reason> and //drill:hotpath on function docs",
+		"//drill:allow <analyzer> <reason>, //drill:hotpath on function docs, " +
+		"and //drill:allocs <n> [reason] qualifying a //drill:hotpath function",
 	Run: runPragma,
 }
 
 func runPragma(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
-		// Positions of comments that belong to a FuncDecl doc group,
-		// where //drill:hotpath is legitimate.
-		funcDoc := make(map[token.Pos]bool)
+		// Map each comment that belongs to a FuncDecl doc group to its
+		// declaration: the one placement where //drill:hotpath and
+		// //drill:allocs are legitimate.
+		funcDoc := make(map[token.Pos]*ast.FuncDecl)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
 			for _, c := range fd.Doc.List {
-				funcDoc[c.Pos()] = true
+				funcDoc[c.Pos()] = fd
 			}
 		}
+		// allocsSeen counts well-formed //drill:allocs directives per
+		// declaration, to flag duplicates (which budget would win?).
+		allocsSeen := make(map[*ast.FuncDecl]bool)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if _, msg := parsePragma(c.Text); msg != "" {
 					pass.Reportf(c.Pos(), "%s", msg)
 					continue
 				}
-				if strings.HasPrefix(c.Text, "//drill:hotpath") && !funcDoc[c.Pos()] {
+				if strings.HasPrefix(c.Text, "//drill:hotpath") && funcDoc[c.Pos()] == nil {
 					pass.Reportf(c.Pos(), "//drill:hotpath must appear in a function declaration's doc comment")
+				}
+				if strings.HasPrefix(c.Text, "//drill:allocs") {
+					fd := funcDoc[c.Pos()]
+					switch {
+					case fd == nil:
+						pass.Reportf(c.Pos(), "//drill:allocs must appear in a function declaration's doc comment")
+					case !isHotPathFunc(fd):
+						pass.Reportf(c.Pos(), "//drill:allocs requires a //drill:hotpath marker on the same declaration: only hot-path functions carry allocation budgets")
+					case allocsSeen[fd]:
+						pass.Reportf(c.Pos(), "duplicate //drill:allocs on one declaration: a function has exactly one allocation budget")
+					default:
+						allocsSeen[fd] = true
+					}
 				}
 			}
 		}

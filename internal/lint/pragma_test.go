@@ -81,6 +81,11 @@ func TestPragmaAnalyzer(t *testing.T) {
 		"//drill:allow units is missing a reason",
 		"//drill:hotpath takes no arguments",
 		"//drill:hotpath must appear in a function declaration's doc comment",
+		`malformed //drill:allocs: budget "two" is not an integer`,
+		"//drill:allocs 0 is the default",
+		"//drill:allocs must appear in a function declaration's doc comment",
+		"//drill:allocs requires a //drill:hotpath marker on the same declaration",
+		"duplicate //drill:allocs on one declaration",
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {

@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoGreen builds drillvet and runs every analyzer over the real
+// tree: the repo must stay clean under its own lint suite, so a change
+// that trips an invariant (or strands a stale pragma) fails here before
+// it reaches CI. Skipped under -short: it type-checks the whole module.
+func TestRepoGreen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	tool := filepath.Join(t.TempDir(), "drillvet")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/drillvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building drillvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	var out bytes.Buffer
+	vet.Stdout = &out
+	vet.Stderr = &out
+	if err := vet.Run(); err != nil {
+		t.Fatalf("drillvet is not green over the repo: %v\n%s", err, out.String())
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -16,6 +16,14 @@ func (s *Sim) AfterID(d int64, id FnID)             {}
 func (s *Sim) AtID(t int64, id FnID)                {}
 func (s *Sim) Register(fn func()) FnID              { return 0 }
 func (s *Sim) NewTimer(fn func()) *Timer            { return &Timer{} }
+func (s *Sim) Now() int64                           { return 0 }
+
+// Global/barrier-class scheduling: callbacks run on the global sim
+// between shard windows, so they are not shard-worker roots.
+func (s *Sim) AtGlobal(t int64, fn func())      {}
+func (s *Sim) AfterGlobal(d int64, fn func())   {}
+func (s *Sim) AfterDaemon(d int64, fn func())   {}
+func (s *Sim) AfterObserver(d int64, fn func()) {}
 
 // Timer mirrors the cancellable timer.
 type Timer struct{}

@@ -1,0 +1,94 @@
+// Package allocs exercises the allocbudget analyzer: every
+// //drill:hotpath function carries a static allocation budget (zero by
+// default), declared — with a reason — by //drill:allocs <n>, and the
+// budget must match the sites exactly in both directions.
+package allocs
+
+type packet struct {
+	seq  int64
+	next *packet
+}
+
+// unbudgeted has two sites and no budget: finding.
+//
+//drill:hotpath
+func unbudgeted(xs []int) []int { // want `has 2 allocation site\(s\)`
+	m := make([]int, 4)
+	return append(xs, m...)
+}
+
+// budgeted declares its one site: silent.
+//
+//drill:hotpath
+//drill:allocs 1 pool miss allocates one packet
+func budgeted() *packet {
+	return &packet{}
+}
+
+// overBudget declares one but has two: the budget is a floor-to-ceiling
+// match, not a cap waiver.
+//
+//drill:hotpath
+//drill:allocs 1 only the packet was acknowledged
+func overBudget() *packet { // want `has 2 allocation site\(s\)`
+	scratch := []int64{1}
+	_ = scratch
+	return &packet{}
+}
+
+// staleBudget overclaims: the acknowledged cost no longer exists.
+//
+//drill:hotpath
+//drill:allocs 2 one site was since removed // want `stale //drill:allocs 2`
+func staleBudget() *packet {
+	return &packet{}
+}
+
+// closures: a capturing literal is one site, a static literal is free.
+//
+//drill:hotpath
+func closures(x int) (func() int, func() int) { // want `has 1 allocation site\(s\)`
+	capturing := func() int { return x }
+	static := func() int { return 2 }
+	return capturing, static
+}
+
+// boxing: an explicit interface conversion is a site; string
+// concatenation is a site.
+//
+//drill:hotpath
+func boxing(a, b string) (any, string) { // want `has 2 allocation site\(s\)`
+	return any(42), a + b
+}
+
+// literals: slice and map literals allocate backing storage; a value
+// struct literal does not.
+//
+//drill:hotpath
+func literals() int { // want `has 2 allocation site\(s\)`
+	s := []int{1}
+	m := map[int]int{1: 1}
+	p := packet{seq: 9}
+	return s[0] + m[1] + int(p.seq)
+}
+
+// coldPanic formats only on the crash path: panic arguments are exempt.
+//
+//drill:hotpath
+func coldPanic(ok bool) {
+	if !ok {
+		panic("state " + "corrupt")
+	}
+}
+
+// suppressed documents a deliberate exception via the allow escape.
+//
+//drill:hotpath
+func suppressed() []int { //drill:allow allocbudget scratch slice is amortized by the caller
+	return make([]int, 1)
+}
+
+// unmarked is not a hot function: allocate freely.
+func unmarked() []int {
+	return append(make([]int, 1), 2)
+}

@@ -1,0 +1,38 @@
+// shard.go is the blessed file: it declares the shard-domain types,
+// hosts the worker launch, and may move domain pointers freely — the
+// exchange path lives here.
+package fabric
+
+import "drill/internal/sim"
+
+// domain is one shard's private world: scheduler, queues, outbox.
+type domain struct {
+	sim    *sim.Sim
+	outbox []int
+}
+
+// ShardUnsafe marks schemes that may not run sharded; NewSharded-style
+// constructors refuse them.
+type ShardUnsafe interface{ ShardUnsafe() }
+
+// launch starts the worker loop: the go statement roots everything the
+// worker can reach.
+func launch(n *Network) {
+	go n.runWorker()
+}
+
+// exchange crosses domains — legal here, and only here.
+func exchange(doms []*domain) {
+	for _, d := range doms {
+		peer := doms[0] // blessed: domain indexing inside shard.go
+		peer.outbox = append(peer.outbox, d.outbox...)
+	}
+}
+
+// flush is shard.go domain plumbing called from worker code: reachable,
+// and still blessed by placement.
+func (n *Network) flush(doms []*domain) {
+	for _, d := range doms {
+		d.outbox = d.outbox[:0]
+	}
+}

@@ -1,0 +1,99 @@
+// Package lb is the fixture balancer suite for shardconfine's marker
+// check: schemes whose decision path reaches shared state must carry
+// fabric.ShardUnsafe. One global-greedy scheme reads package state
+// unmarked (the canonical accident this check exists to catch), one
+// pins flows in receiver state unmarked, one is a properly-marked
+// CONGA-alike, and one is pure and rightly unmarked.
+package lb
+
+import "fix/confine/internal/fabric"
+
+// hotPort is package-level mutable state shared by every engine.
+var hotPort int
+
+// weights is read-only after initialization: reading it is safe.
+var weights = []int{1, 2, 3}
+
+// GlobalGreedy reads and writes global state in Choose without the
+// marker — the scheme a future "shard-safe CONGA" must not become by
+// accident.
+type GlobalGreedy struct{}
+
+// Choose consults the globally-hottest port.
+func (GlobalGreedy) Choose(e *fabric.Engine, n *fabric.Network, flow uint64) int {
+	hotPort = int(flow) % 4 // want `GlobalGreedy reaches package-level variable hotPort`
+	return hotPort          // want `GlobalGreedy reaches package-level variable hotPort`
+}
+
+// Sticky pins flows in receiver-held state without the marker: engines
+// sharing the scheme would race across shards.
+type Sticky struct {
+	pins map[uint64]int
+}
+
+// Choose pins the flow on first sight.
+func (s *Sticky) Choose(e *fabric.Engine, n *fabric.Network, flow uint64) int {
+	if p, ok := s.pins[flow]; ok {
+		return p
+	}
+	port := int(flow) % 4
+	s.pins[flow] = port // want `Sticky writes receiver-held state`
+	return port
+}
+
+// OnArrive retires the pin: the hook path is checked too.
+func (s *Sticky) OnArrive(n *fabric.Network, port int) {
+	delete(s.pins, uint64(port)) // want `Sticky deletes from receiver-held state`
+}
+
+// Clocked reads the global scheduler on its decision path unmarked.
+type Clocked struct{}
+
+// Choose timestamps its decision off the barrier clock.
+func (Clocked) Choose(e *fabric.Engine, n *fabric.Network, flow uint64) int {
+	now := n.Sim.Now() // want `Clocked reaches the global scheduler Network.Sim`
+	return int(now) % 4
+}
+
+// Feedback is the marked CONGA-alike: the same signals are legal
+// because NewSharded refuses the scheme and it only runs sequentially.
+type Feedback struct {
+	dre []float64
+}
+
+// ShardUnsafe marks the scheme.
+func (*Feedback) ShardUnsafe() {}
+
+// Choose reads the clock and decays receiver state: silent, marked.
+func (f *Feedback) Choose(e *fabric.Engine, n *fabric.Network, flow uint64) int {
+	now := n.Sim.Now()
+	f.dre[0] = float64(now) * 0.5
+	hotPort = 0
+	return 0
+}
+
+// OnTx updates the per-uplink estimator: silent, marked.
+func (f *Feedback) OnTx(n *fabric.Network, port int) {
+	f.dre[port] += 1.0
+}
+
+// Pure is the fix: per-engine state only, reads of read-only package
+// tables, no marker needed.
+type Pure struct{}
+
+// Choose hashes over the read-only weight table and scratches only
+// engine-local state.
+func (Pure) Choose(e *fabric.Engine, n *fabric.Network, flow uint64) int {
+	sum := 0
+	for _, w := range weights {
+		sum += w
+	}
+	local := helperFold(int(flow), sum)
+	return local
+}
+
+// helperFold proves reachability composes through plain helpers without
+// inventing findings.
+func helperFold(flow, sum int) int {
+	return flow % (sum + 1)
+}

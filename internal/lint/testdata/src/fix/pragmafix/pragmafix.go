@@ -28,3 +28,27 @@ func hot() {}
 
 //drill:allow units the units analyzer judges staleness, not drillpragma
 var g int
+
+//drill:allocs two scratch buffers
+var h int
+
+//drill:allocs 0 zero is the default budget
+func zero() {}
+
+//drill:allocs 2 detached from any function declaration
+var i int
+
+//drill:allocs 3 qualifies a function that is not hot
+func notHot() {}
+
+//drill:hotpath
+//drill:allocs 1 the first budget wins
+//drill:allocs 2 the second is a duplicate
+func dup() {}
+
+// A well-formed budget on a hot function is silent here; whether it is
+// honest is the allocbudget analyzer's business.
+//
+//drill:hotpath
+//drill:allocs 1 one acknowledged site
+func honest() *int { return new(int) }

@@ -219,6 +219,7 @@ func (s *Sim) Stream(id int64) *rand.Rand {
 // steady-state scheduling never allocates.
 //
 //drill:hotpath
+//drill:allocs 1 slot-table growth amortizes; steady state recycles ids through the free list
 func (s *Sim) alloc(fn func(), t *Timer) int32 {
 	if id := s.free; id >= 0 {
 		sl := &s.slots[id]
@@ -399,6 +400,7 @@ func (s *Sim) AfterObserver(d units.Time, fn func()) {
 // schedule routes an event to its tier by distance from the wheel cursor.
 //
 //drill:hotpath
+//drill:allocs 1 bucket growth amortizes; wheel slices retain capacity across laps
 func (s *Sim) schedule(ev event) {
 	if s.heapOnly || ev.at < s.base+bucketW {
 		// Inside the current bucket window (or reference mode): the near
@@ -465,6 +467,7 @@ func eventCmp(a, b event) int {
 // of everything the widened horizon covers at each step.
 //
 //drill:hotpath
+//drill:allocs 1 in-place bucket compaction appends within retained capacity
 func (s *Sim) ensureNear() bool {
 	for len(s.near.ev) == 0 && s.dlHead == len(s.dl) {
 		if s.wcount == 0 {
@@ -668,6 +671,7 @@ func (h *eventHeap) setIdx(i int) {
 }
 
 //drill:hotpath
+//drill:allocs 1 heap growth amortizes; capacity is retained across pops
 func (h *eventHeap) push(ev event) {
 	h.ev = append(h.ev, ev)
 	i := len(h.ev) - 1
