@@ -113,8 +113,15 @@ func (c *Cluster) StartIncast(period, until Time) {
 func (c *Cluster) MeasureFrom(t Time) { c.reg.MeasureFrom = t }
 
 // FailLink takes a link out of service; routing reconverges after the
-// cluster's RouteDelay (or immediately if instant).
+// cluster's RouteDelay (or immediately if instant). Failing a link that is
+// already down is a no-op.
 func (c *Cluster) FailLink(id LinkID, instant bool) { c.net.FailLink(id, instant) }
+
+// RestoreLink returns a failed link to service: both directions carry
+// traffic again immediately, and routing reconverges onto the revived
+// capacity after the cluster's RouteDelay (or immediately if instant).
+// Restoring a link that is already up is a no-op.
+func (c *Cluster) RestoreLink(id LinkID, instant bool) { c.net.RestoreLink(id, instant) }
 
 // LinksBetween returns the up links directly connecting two nodes.
 func (c *Cluster) LinksBetween(a, b NodeID) []LinkID { return c.net.Topo.LinkBetween(a, b) }

@@ -6,6 +6,7 @@
 //	drillsim -list
 //	drillsim -exp fig6a [-scale 0.25] [-seed 7] [-loads 0.1,0.5,0.8] [-workers 4] [-q]
 //	drillsim -exp fig6a -shards 4   (sharded parallel engine; output is byte-identical)
+//	drillsim -exp fig6a -campaign flapstorm   (scripted mid-run fail/restore; also @file.json)
 //	drillsim -exp qtrace -trace events.csv [-trace-sample 10us]
 //	drillsim -exp fig6a -cpuprofile cpu.pprof -memprofile mem.pprof
 //	drillsim -exp fig11 -metrics-addr :9137 -progress -manifest fig11.manifest.json
@@ -52,16 +53,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		scale   = flag.Float64("scale", 0, "0 = quick single-core defaults, 1 = paper parameters")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		loads   = flag.String("loads", "", "comma-separated load override, e.g. 0.1,0.5,0.8")
-		reps    = flag.Int("reps", 1, "replications per sweep cell (pooled samples)")
-		workers = flag.Int("workers", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
-		shards  = flag.Int("shards", 0, "shards per simulation run on the parallel engine (0 = sequential engine); results are byte-identical at any value")
-		format  = flag.String("format", "table", "output format: table | csv | json")
-		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Float64("scale", 0, "0 = quick single-core defaults, 1 = paper parameters")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		loads    = flag.String("loads", "", "comma-separated load override, e.g. 0.1,0.5,0.8")
+		reps     = flag.Int("reps", 1, "replications per sweep cell (pooled samples)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
+		shards   = flag.Int("shards", 0, "shards per simulation run on the parallel engine (0 = sequential engine); results are byte-identical at any value")
+		campaign = flag.String("campaign", "", "scripted fail/restore campaign for every sweep cell: a preset (flapstorm, podfail, rollingdrain) or @file.json (see EXPERIMENTS.md for the format)")
+		format   = flag.String("format", "table", "output format: table | csv | json")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
 
 		traceOut    = flag.String("trace", "", "write per-event trace to this file (.csv, or .jsonl/.json for JSON-lines)")
 		traceSample = flag.Duration("trace-sample", 10*time.Microsecond, "queue-depth/utilization sampling period when -trace is set")
@@ -142,6 +144,24 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Workers: resolved, Shards: *shards}
+	if *campaign != "" {
+		var c *experiments.Campaign
+		if name, ok := strings.CutPrefix(*campaign, "@"); ok {
+			var err error
+			if c, err = experiments.LoadCampaign(name); err != nil {
+				fmt.Fprintf(os.Stderr, "drillsim: -campaign: %v\n", err)
+				os.Exit(2)
+			}
+		} else if c, ok = experiments.CampaignByName(*campaign); !ok {
+			fmt.Fprintf(os.Stderr, "drillsim: unknown campaign %q (presets: flapstorm, podfail, rollingdrain; or @file.json)\n", *campaign)
+			os.Exit(2)
+		}
+		opts.Campaign = c
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "drillsim: campaign %s: %d set(s), %d action(s)\n",
+				c.Name, len(c.Sets), len(c.Timeline))
+		}
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

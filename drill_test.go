@@ -103,6 +103,38 @@ func TestFailLinkPublicAPI(t *testing.T) {
 	}
 }
 
+func TestRestoreLinkPublicAPI(t *testing.T) {
+	topo := drill.LeafSpine(2, 2, 4)
+	c := drill.NewCluster(topo, drill.Options{RouteDelay: 50 * drill.Microsecond})
+	hosts := c.Hosts()
+	leaf := c.LeafOf(hosts[0])
+	var spine drill.NodeID = -1
+	for _, n := range topo.Nodes {
+		if n.Kind == 2 { // topo.Spine
+			spine = n.ID
+			break
+		}
+	}
+	links := c.LinksBetween(leaf, spine)
+	if len(links) != 1 {
+		t.Fatalf("links = %d", len(links))
+	}
+	l := links[0]
+	c.At(100*drill.Microsecond, func() { c.FailLink(l, false) })
+	c.At(300*drill.Microsecond, func() { c.RestoreLink(l, false) })
+	f := c.StartFlow(hosts[0], hosts[4], 500*1460, "")
+	c.RunToCompletion()
+	if !f.Done() {
+		t.Fatal("flow did not survive the flap cycle")
+	}
+	if !topo.Links[l].Up {
+		t.Fatal("link still marked down after RestoreLink")
+	}
+	if got := len(c.LinksBetween(leaf, spine)); got != 1 {
+		t.Fatalf("restored link not listed by LinksBetween (got %d)", got)
+	}
+}
+
 func TestSelectorPublicAPI(t *testing.T) {
 	s := drill.NewSelector(2, 1, rand.New(rand.NewSource(1)))
 	loads := []int64{9, 1, 5, 7}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"drill/internal/fabric"
+	"drill/internal/obs"
+	"drill/internal/sim"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Campaign is a scripted reconfiguration schedule: named link sets plus a
+// timeline of fail/restore actions against them. Campaigns are the
+// experiment-layer face of fabric epochs — every action lands as a
+// global-class sim event (a barrier under the sharded engine), so a
+// campaign replays byte-identically on the sequential and sharded engines.
+//
+// The JSON form (drillsim -campaign @file.json) mirrors the struct:
+//
+//	{
+//	  "name": "flapstorm",
+//	  "sets": [{"id": "storm", "uplinks": 2}],
+//	  "timeline": [
+//	    {"atFrac": 0.30, "op": "fail",    "set": "storm"},
+//	    {"atFrac": 0.45, "op": "restore", "set": "storm"}
+//	  ]
+//	}
+type Campaign struct {
+	Name     string           `json:"name"`
+	Sets     []LinkSet        `json:"sets"`
+	Timeline []CampaignAction `json:"timeline"`
+}
+
+// LinkSet names a group of links a campaign acts on. Exactly one selector
+// must be set:
+//
+//   - Links: explicit topo.LinkID values;
+//   - Uplinks: that many leaf↔fabric links, drawn deterministically from
+//     the run's seed (a distinct stream per set, so two sets in one
+//     campaign draw independently);
+//   - Leaf: every fabric link of Topo.Leaves[*Leaf] — the drain/undrain
+//     unit for rolling-maintenance scenarios.
+type LinkSet struct {
+	ID      string  `json:"id"`
+	Links   []int32 `json:"links,omitempty"`
+	Uplinks int     `json:"uplinks,omitempty"`
+	Leaf    *int    `json:"leaf,omitempty"`
+}
+
+// CampaignAction is one timeline entry: at a sim time given either
+// absolutely (AtUs, microseconds) or as a fraction of the traffic window
+// warmup+measure (AtFrac, used when AtUs is 0 — presets scale to any cell
+// length this way), apply Op to every link of Set. Instant skips the
+// RouteDelay reconvergence lag (the idealized control plane).
+type CampaignAction struct {
+	AtUs    float64 `json:"atUs,omitempty"`
+	AtFrac  float64 `json:"atFrac,omitempty"`
+	Op      string  `json:"op"`
+	Set     string  `json:"set"`
+	Instant bool    `json:"instant,omitempty"`
+}
+
+// Validate checks the campaign's internal consistency: selectors are
+// exclusive, ops are known, and every action names a declared set.
+func (c *Campaign) Validate() error {
+	if len(c.Timeline) == 0 {
+		return fmt.Errorf("campaign %q has an empty timeline", c.Name)
+	}
+	ids := map[string]bool{}
+	for i := range c.Sets {
+		ls := &c.Sets[i]
+		if ls.ID == "" {
+			return fmt.Errorf("campaign %q: set %d has no id", c.Name, i)
+		}
+		if ids[ls.ID] {
+			return fmt.Errorf("campaign %q: duplicate set id %q", c.Name, ls.ID)
+		}
+		ids[ls.ID] = true
+		selectors := 0
+		if len(ls.Links) > 0 {
+			selectors++
+		}
+		if ls.Uplinks > 0 {
+			selectors++
+		}
+		if ls.Leaf != nil {
+			selectors++
+		}
+		if selectors != 1 {
+			return fmt.Errorf("campaign %q: set %q must use exactly one of links/uplinks/leaf", c.Name, ls.ID)
+		}
+	}
+	for i, a := range c.Timeline {
+		if a.Op != "fail" && a.Op != "restore" {
+			return fmt.Errorf("campaign %q: action %d has op %q (want fail|restore)", c.Name, i, a.Op)
+		}
+		if !ids[a.Set] {
+			return fmt.Errorf("campaign %q: action %d targets undeclared set %q", c.Name, i, a.Set)
+		}
+		if a.AtUs < 0 || a.AtFrac < 0 || a.AtFrac > 1 {
+			return fmt.Errorf("campaign %q: action %d has an out-of-range time", c.Name, i)
+		}
+		if a.AtUs == 0 && a.AtFrac == 0 {
+			return fmt.Errorf("campaign %q: action %d has no time (set atUs or atFrac)", c.Name, i)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a short stable hash of the campaign's full content,
+// recorded in run provenance so two runs share a config hash iff they ran
+// the same schedule.
+func (c *Campaign) Fingerprint() string {
+	if c == nil {
+		return ""
+	}
+	return obs.ConfigHash(c)
+}
+
+// resolve materializes every set into concrete link IDs against t. Random
+// draws come from the run seed with a per-set stream, so resolution is
+// deterministic per (seed, campaign) and independent across sets.
+func (c *Campaign) resolve(t *topo.Topology, seed int64) (map[string][]topo.LinkID, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]topo.LinkID, len(c.Sets))
+	for si := range c.Sets {
+		ls := &c.Sets[si]
+		switch {
+		case len(ls.Links) > 0:
+			links := make([]topo.LinkID, 0, len(ls.Links))
+			for _, id := range ls.Links {
+				if int(id) < 0 || int(id) >= len(t.Links) {
+					return nil, fmt.Errorf("campaign %q: set %q names link %d outside the topology's %d links",
+						c.Name, ls.ID, id, len(t.Links))
+				}
+				links = append(links, topo.LinkID(id))
+			}
+			out[ls.ID] = links
+		case ls.Uplinks > 0:
+			cands := leafFabricLinks(t, -1)
+			rng := sim.New(seed).Stream(0xca4a + int64(si))
+			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			n := ls.Uplinks
+			if n > len(cands) {
+				n = len(cands)
+			}
+			picked := append([]topo.LinkID(nil), cands[:n]...)
+			sort.Slice(picked, func(i, j int) bool { return picked[i] < picked[j] })
+			out[ls.ID] = picked
+		default:
+			if *ls.Leaf < 0 || *ls.Leaf >= len(t.Leaves) {
+				return nil, fmt.Errorf("campaign %q: set %q names leaf %d outside the topology's %d leaves",
+					c.Name, ls.ID, *ls.Leaf, len(t.Leaves))
+			}
+			out[ls.ID] = leafFabricLinks(t, *ls.Leaf)
+		}
+	}
+	return out, nil
+}
+
+// leafFabricLinks lists leaf↔fabric links — of one leaf (by index into
+// t.Leaves), or of every leaf when which is -1 — in link-ID order.
+func leafFabricLinks(t *topo.Topology, which int) []topo.LinkID {
+	var out []topo.LinkID
+	for _, l := range t.Links {
+		ka, kb := t.Nodes[l.A].Kind, t.Nodes[l.B].Kind
+		if ka == topo.Host || kb == topo.Host {
+			continue
+		}
+		if ka != topo.Leaf && kb != topo.Leaf {
+			continue
+		}
+		if which >= 0 {
+			leaf := t.Leaves[which]
+			if l.A != leaf && l.B != leaf {
+				continue
+			}
+		}
+		out = append(out, l.ID)
+	}
+	return out
+}
+
+// Install resolves the campaign against t and schedules every timeline
+// action as a global-class event on s. window is the traffic window
+// (warmup+measure) AtFrac times scale to. Actions sharing an instant are
+// scheduled — and therefore dispatched — in timeline order.
+func (c *Campaign) Install(s *sim.Sim, net *fabric.Network, t *topo.Topology, seed int64, window units.Time) error {
+	sets, err := c.resolve(t, seed)
+	if err != nil {
+		return err
+	}
+	for i := range c.Timeline {
+		a := c.Timeline[i]
+		at := units.Time(a.AtUs * float64(units.Microsecond))
+		if at == 0 {
+			at = units.Time(a.AtFrac * float64(window))
+		}
+		links := sets[a.Set]
+		fail := a.Op == "fail"
+		instant := a.Instant
+		s.AtGlobal(at, func() {
+			for _, id := range links {
+				if fail {
+					net.FailLink(id, instant)
+				} else {
+					net.RestoreLink(id, instant)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// LoadCampaign parses a campaign JSON file and validates it.
+func LoadCampaign(path string) (*Campaign, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if c.Name == "" {
+		c.Name = path
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// FlapStorm is the canonical flap campaign: `links` seeded-random leaf
+// uplinks fail and recover `cycles` times across the middle of the traffic
+// window — each cycle short enough that reconvergence from the previous
+// one may still be pending, exercising the coalescing path.
+func FlapStorm(links, cycles int) *Campaign {
+	c := &Campaign{
+		Name: "flapstorm",
+		Sets: []LinkSet{{ID: "storm", Uplinks: links}},
+	}
+	// Cycles span fractions [0.25, 0.90) of the window: restore midway
+	// through each cycle, fail again at the next.
+	span, start := 0.65, 0.25
+	for i := 0; i < cycles; i++ {
+		f0 := start + span*float64(i)/float64(cycles)
+		f1 := start + span*(float64(i)+0.5)/float64(cycles)
+		c.Timeline = append(c.Timeline,
+			CampaignAction{AtFrac: f0, Op: "fail", Set: "storm"},
+			CampaignAction{AtFrac: f1, Op: "restore", Set: "storm"},
+		)
+	}
+	return c
+}
+
+// PodFailure takes the first n leaves' entire fabric connectivity down at
+// once — a correlated pod-level event — and restores it later in the run.
+func PodFailure(n int) *Campaign {
+	c := &Campaign{Name: "podfail"}
+	for i := 0; i < n; i++ {
+		leaf := i
+		c.Sets = append(c.Sets, LinkSet{ID: fmt.Sprintf("pod%d", i), Leaf: &leaf})
+		c.Timeline = append(c.Timeline,
+			CampaignAction{AtFrac: 0.35, Op: "fail", Set: fmt.Sprintf("pod%d", i)},
+			CampaignAction{AtFrac: 0.70, Op: "restore", Set: fmt.Sprintf("pod%d", i)},
+		)
+	}
+	sortTimeline(c)
+	return c
+}
+
+// RollingDrain drains and undrains the first n leaves one after another —
+// the rolling-maintenance scenario: each leaf's fabric links fail, hold
+// for a window slice, and recover before the next leaf drains.
+func RollingDrain(n int) *Campaign {
+	c := &Campaign{Name: "rollingdrain"}
+	span, start := 0.65, 0.25
+	for i := 0; i < n; i++ {
+		leaf := i
+		id := fmt.Sprintf("leaf%d", i)
+		f0 := start + span*float64(i)/float64(n)
+		f1 := start + span*(float64(i)+0.6)/float64(n)
+		c.Sets = append(c.Sets, LinkSet{ID: id, Leaf: &leaf})
+		c.Timeline = append(c.Timeline,
+			CampaignAction{AtFrac: f0, Op: "fail", Set: id},
+			CampaignAction{AtFrac: f1, Op: "restore", Set: id},
+		)
+	}
+	return c
+}
+
+// sortTimeline orders actions by time, preserving declaration order among
+// equals (presets interleave per-set appends; runs dispatch in this order).
+func sortTimeline(c *Campaign) {
+	sort.SliceStable(c.Timeline, func(i, j int) bool {
+		ti := c.Timeline[i].AtUs*float64(units.Microsecond) + c.Timeline[i].AtFrac
+		tj := c.Timeline[j].AtUs*float64(units.Microsecond) + c.Timeline[j].AtFrac
+		return ti < tj
+	})
+}
+
+// CampaignByName returns a built-in campaign preset: flapstorm, podfail,
+// or rollingdrain.
+func CampaignByName(name string) (*Campaign, bool) {
+	switch name {
+	case "flapstorm":
+		return FlapStorm(2, 3), true
+	case "podfail":
+		return PodFailure(2), true
+	case "rollingdrain":
+		return RollingDrain(3), true
+	}
+	return nil, false
+}

@@ -48,5 +48,41 @@ func Cells() []experiments.RunCfg {
 		Warmup:  100 * units.Microsecond,
 		Measure: 400 * units.Microsecond,
 	})
+	cells = append(cells, ReconfigCells()...)
 	return cells
+}
+
+// ReconfigCells returns the live-reconfiguration cells: scripted mid-run
+// fail → restore campaigns with a short RouteDelay so two full epoch swaps
+// — including DRILL's Quiver recomputation — land inside the traffic
+// window, on both engines, at a barrier. The flap-storm variant packs
+// cycles tighter than the RouteDelay so the coalesced-reconvergence path
+// is exercised too.
+func ReconfigCells() []experiments.RunCfg {
+	drill, _ := experiments.SchemeByName("DRILL")
+	ecmp, _ := experiments.SchemeByName("ECMP")
+	flap := &experiments.Campaign{
+		Name: "conf-flap",
+		Sets: []experiments.LinkSet{{ID: "flap", Uplinks: 2}},
+		Timeline: []experiments.CampaignAction{
+			{AtUs: 150, Op: "fail", Set: "flap"},
+			{AtUs: 300, Op: "restore", Set: "flap"},
+		},
+	}
+	return []experiments.RunCfg{
+		{
+			Topo: confTopo, Scheme: drill, Seed: 13, Load: 0.5,
+			Campaign:   flap,
+			RouteDelay: 50 * units.Microsecond,
+			Warmup:     100 * units.Microsecond,
+			Measure:    400 * units.Microsecond,
+		},
+		{
+			Topo: confTopo, Scheme: ecmp, Seed: 14, Load: 0.8, QueueCap: 16,
+			Campaign:   experiments.FlapStorm(2, 3),
+			RouteDelay: 80 * units.Microsecond,
+			Warmup:     100 * units.Microsecond,
+			Measure:    400 * units.Microsecond,
+		},
+	}
 }

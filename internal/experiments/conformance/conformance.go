@@ -47,6 +47,12 @@ func Fingerprint(res *experiments.RunResult) string {
 	fmt.Fprintf(&b, "delivered=%d flows=%d events=%d drops=%d retx=%d rto=%d ooo=%d gro=%d/%d gets=%d\n",
 		res.Delivered, res.Flows, res.Events, res.Drops, res.Retransmits,
 		res.Timeouts, res.OutOfOrder, res.GROBatches, res.GROSegments, res.PacketGets)
+	// The conservation terms and the control-plane generation count: an
+	// epoch swap (fail → restore → table/Quiver recompute) that landed on a
+	// different barrier, drained a different queue, or left a different
+	// packet in flight diverges here even if delivery totals happen to agree.
+	fmt.Fprintf(&b, "sent=%d queued=%d inflight=%d epochs=%d\n",
+		res.Sent, res.QueuedEnd, res.InFlightEnd, res.Epochs)
 	fmt.Fprintf(&b, "fct %s\n", distLine(res.FCT))
 	classes := make([]string, 0, len(res.Classes))
 	for c := range res.Classes {

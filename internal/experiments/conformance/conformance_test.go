@@ -59,14 +59,37 @@ func TestShardedObsCellMatches(t *testing.T) {
 	}
 }
 
-// TestShardedLossyAndFailureCells re-runs the two adversarial cells with
-// full instrumentation, since drops and reconvergence cross the paths a
-// barrier bug would corrupt first.
+// TestShardedLossyAndFailureCells re-runs the adversarial cells — overflow
+// drops, mid-run failures — with full instrumentation, since drops and
+// reconvergence cross the paths a barrier bug would corrupt first.
+// Selection is by shape, not position, so growing Cells() can't silently
+// rotate which cells this covers.
 func TestShardedLossyAndFailureCells(t *testing.T) {
-	cells := Cells()
-	for _, cfg := range cells[len(cells)-2:] {
+	ran := 0
+	for _, cfg := range Cells() {
+		if cfg.QueueCap == 0 && cfg.FailLinks == 0 {
+			continue
+		}
+		ran++
 		for _, d := range Diff(cfg, counts(), Options{Trace: true, Obs: true}) {
 			t.Errorf("%s seed=%d: %s", cfg.Scheme.Name, cfg.Seed, d)
+		}
+	}
+	if ran < 2 {
+		t.Fatalf("expected at least 2 adversarial cells, found %d", ran)
+	}
+}
+
+// TestShardedReconfigurationCells is the epoch-swap proof the acceptance
+// criteria name: a scripted mid-run fail → restore campaign — each action
+// an epoch swap with table (and, for DRILL, Quiver) recomputation — is
+// byte-identical between the sequential and sharded engines at every
+// shard count, with full instrumentation attached.
+func TestShardedReconfigurationCells(t *testing.T) {
+	for i, cfg := range ReconfigCells() {
+		for _, d := range Diff(cfg, counts(), Options{Trace: true, Obs: true}) {
+			t.Errorf("reconfig cell %d (%s seed=%d campaign=%s): %s",
+				i, cfg.Scheme.Name, cfg.Seed, cfg.Campaign.Name, d)
 		}
 	}
 }

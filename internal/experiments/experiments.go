@@ -51,6 +51,11 @@ type Options struct {
 	// -trace runs double as the determinism reference.
 	Shards int
 
+	// Campaign, when non-nil, installs this scripted fail/restore timeline
+	// into every sweep cell that doesn't already carry one (see
+	// campaign.go and RunCfg.Campaign).
+	Campaign *Campaign
+
 	// TraceSink, when non-nil, streams every run's packet-lifecycle events
 	// into the sink, each run tagged with its cell index. Tracing forces
 	// the sweep sequential (workers=1): a shared file sink is not safe for,
@@ -121,12 +126,29 @@ func (o *Options) runAll(cfgs []RunCfg, done func(i int, res *RunResult)) []*Run
 		// Shard-unsafe balancers (CONGA's global feedback, Presto's send
 		// hook, ...) keep the sequential engine; because both engines
 		// produce identical bytes, a sweep mixing engines per cell is
-		// still one coherent report.
+		// still one coherent report. The fallback is announced — once per
+		// scheme — and the engine each cell actually ran on is recorded in
+		// its provenance row (CellSummary.Engine), so a "-shards N" sweep
+		// never silently misrepresents what executed.
+		noticed := map[string]bool{}
 		for i := range cfgs {
 			if cfgs[i].Shards == 0 && cfgs[i].Scheme.New != nil {
-				if _, unsafe := cfgs[i].Scheme.New().(fabric.ShardUnsafe); !unsafe {
+				if _, unsafe := cfgs[i].Scheme.New().(fabric.ShardUnsafe); unsafe {
+					if !noticed[cfgs[i].Scheme.Name] {
+						noticed[cfgs[i].Scheme.Name] = true
+						o.progress("note: scheme %s is shard-unsafe; its cells run on the sequential engine (recorded in the manifest)",
+							cfgs[i].Scheme.Name)
+					}
+				} else {
 					cfgs[i].Shards = o.Shards
 				}
+			}
+		}
+	}
+	if o.Campaign != nil {
+		for i := range cfgs {
+			if cfgs[i].Campaign == nil {
+				cfgs[i].Campaign = o.Campaign
 			}
 		}
 	}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"drill/internal/fabric"
+	"drill/internal/topo"
+	"drill/internal/transport"
+	"drill/internal/units"
+)
+
+// flapConservationCfg is the fixture for the fail→restore conservation
+// tests: a lossy leaf–spine (8 leaves partition evenly at shards 1/4/8)
+// under a flap-storm campaign whose cycles are shorter than the
+// RouteDelay, so stale tables route into dead ports, drains fire, and
+// reconvergences coalesce — every drop path in one run. The drain window
+// is cut to 1µs so the run ends with queues and wires still populated and
+// the QueuedEnd/InFlightEnd terms of the law are tested non-vacuously.
+func flapConservationCfg(sc Scheme, shards int) RunCfg {
+	return RunCfg{
+		Topo: func() *topo.Topology {
+			return topo.LeafSpine(topo.LeafSpineConfig{
+				Spines: 4, Leaves: 8, HostsPerLeaf: 4,
+				HostRate: 10 * units.Gbps, CoreRate: 40 * units.Gbps,
+			})
+		},
+		Scheme: sc, Seed: 7, Load: 0.9, QueueCap: 16,
+		Warmup:     100 * units.Microsecond,
+		Measure:    400 * units.Microsecond,
+		DrainLimit: 1 * units.Microsecond,
+		RouteDelay: 60 * units.Microsecond,
+		Campaign:   FlapStorm(2, 2),
+		Shards:     shards,
+	}
+}
+
+// checkFlapConservation runs the cfg with mid-run barrier checks attached
+// and asserts the conservation law sent == delivered + dropped + queued +
+// in-flight — live at three instants spanning the flap cycles, and again
+// on the folded totals at the end of the run.
+func checkFlapConservation(t *testing.T, cfg RunCfg) {
+	t.Helper()
+	var midChecks int
+	var maxLive int64
+	cfg.Hook = func(reg *transport.Registry, until units.Time) {
+		for _, frac := range []float64{0.4, 0.6, 0.8} {
+			at := units.Time(frac * float64(until))
+			// Global class: the check reads ports and per-domain counters
+			// across every shard, which is only legal at a barrier.
+			reg.Sim.AtGlobal(at, func() {
+				net := reg.Net
+				sent := net.SentPackets()
+				delivered := net.DeliveredPackets()
+				dropped := net.DroppedPackets()
+				queued := net.QueuedPackets()
+				inflight := net.InFlightPackets()
+				if got := delivered + dropped + queued + inflight; got != sent {
+					t.Errorf("t=%v: conservation violated: sent=%d but delivered=%d + dropped=%d + queued=%d + inflight=%d = %d",
+						at, sent, delivered, dropped, queued, inflight, got)
+				}
+				midChecks++
+				if live := queued + inflight; live > maxLive {
+					maxLive = live
+				}
+			})
+		}
+	}
+	res := Run(cfg)
+	if got := res.Delivered + res.Drops + res.QueuedEnd + res.InFlightEnd; got != res.Sent {
+		t.Errorf("end of run: conservation violated: sent=%d but delivered=%d + drops=%d + queued=%d + inflight=%d = %d",
+			res.Sent, res.Delivered, res.Drops, res.QueuedEnd, res.InFlightEnd, got)
+	}
+	if midChecks != 3 {
+		t.Errorf("ran %d mid-run checks, want 3", midChecks)
+	}
+	if maxLive == 0 {
+		t.Error("no checkpoint saw a queued or in-flight packet; the live terms went untested")
+	}
+	if res.Sent == 0 || res.Delivered == 0 {
+		t.Fatalf("sent=%d delivered=%d; the invariant was checked vacuously", res.Sent, res.Delivered)
+	}
+	if res.Drops == 0 {
+		t.Error("flap cycles dropped nothing; the drop terms went untested")
+	}
+	if res.Epochs < 3 {
+		t.Errorf("run applied %d epochs, want ≥3 (construction + fail + restore reconvergences)", res.Epochs)
+	}
+}
+
+// TestFlapCycleConservation holds every scheme to packet conservation
+// through full fail→restore flap cycles — sequentially for all seven, and
+// at shards {1,4,8} for the shard-safe ones (the shard-unsafe balancers
+// are exactly what NewSharded refuses; their cells run sequentially, as
+// RunAll's fallback would).
+func TestFlapCycleConservation(t *testing.T) {
+	for _, name := range []string{"ECMP", "Random", "RR", "WCMP", "CONGA", "Presto", "DRILL"} {
+		sc, ok := SchemeByName(name)
+		if !ok {
+			t.Fatalf("unknown scheme %q", name)
+		}
+		_, unsafe := sc.New().(fabric.ShardUnsafe)
+		shardCounts := []int{0}
+		if !unsafe {
+			shardCounts = []int{0, 1, 4, 8}
+		}
+		for _, nsh := range shardCounts {
+			sc, nsh := sc, nsh
+			t.Run(fmt.Sprintf("%s/shards=%d", name, nsh), func(t *testing.T) {
+				t.Parallel()
+				checkFlapConservation(t, flapConservationCfg(sc, nsh))
+			})
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"drill/internal/fabric"
@@ -58,6 +59,18 @@ type RunCfg struct {
 	FailAt units.Time
 	// InstantReconverge models ideal-DRILL (no OSPF delay).
 	InstantReconverge bool
+
+	// Campaign, when non-nil, schedules a scripted fail/restore timeline
+	// (flap storms, pod failures, rolling drains — see campaign.go) against
+	// the run. Composes with FailLinks/FailAt; every action is a
+	// global-class event, so campaigns replay identically on both engines.
+	Campaign *Campaign
+
+	// RouteDelay overrides the control plane's reconvergence lag after a
+	// failure or recovery (default: fabric's 1ms). Reconvergence is
+	// coalesced: all topology events inside one lag window produce a
+	// single epoch swap.
+	RouteDelay units.Time
 
 	// DisablePool turns off fabric packet recycling for this run (the
 	// pre-pool fresh-allocation behaviour). Exists for the byte-identical
@@ -136,6 +149,18 @@ type RunResult struct {
 	// shards under the sharded engine).
 	Delivered int64
 
+	// Sent counts packets hosts handed to their NICs; with QueuedEnd and
+	// InFlightEnd it closes the conservation law Sent == Delivered + Drops
+	// + QueuedEnd + InFlightEnd at the run's final instant (all folded
+	// across shards).
+	Sent        int64
+	QueuedEnd   int64
+	InFlightEnd int64
+
+	// Epochs is the applied control-plane generation count: 1 for the
+	// construction epoch plus one per (coalesced) reconvergence.
+	Epochs uint64
+
 	Flows       int64
 	Drops       int64
 	Retransmits int64
@@ -206,10 +231,12 @@ func Run(cfg RunCfg) *RunResult {
 		Engines:      cfg.Engines,
 		QueueCap:     cfg.QueueCap,
 		VisFactor:    cfg.VisFactor,
+		RouteDelay:   cfg.RouteDelay,
 		DisablePool:  cfg.DisablePool,
 		DisableBatch: cfg.LegacyScheduler,
 		Tracer:       cfg.Tracer,
 	}
+	engine := "sequential"
 	var net *fabric.Network
 	var group *sim.ShardGroup
 	if cfg.Shards > 0 {
@@ -232,6 +259,7 @@ func Run(cfg RunCfg) *RunResult {
 			shards[i] = sim.New(cfg.Seed)
 		}
 		net = fabric.NewSharded(s, shards, assign, t, fcfg)
+		engine = fmt.Sprintf("sharded/%d", nsh)
 		group = &sim.ShardGroup{
 			Global:    s,
 			Shards:    shards,
@@ -289,6 +317,11 @@ func Run(cfg RunCfg) *RunResult {
 		s.AtGlobal(at, func() {
 			failRandomUplinks(t, net, cfg.FailLinks, cfg.Seed, cfg.InstantReconverge)
 		})
+	}
+	if cfg.Campaign != nil {
+		if err := cfg.Campaign.Install(s, net, t, cfg.Seed, end); err != nil {
+			panic("experiments: " + err.Error())
+		}
 	}
 
 	var syn *workload.Synthetic
@@ -373,6 +406,10 @@ func Run(cfg RunCfg) *RunResult {
 		WireReorders: &reg.Stats.WireReorders,
 		Hops:         &net.Hops,
 		Delivered:    net.Delivered,
+		Sent:         net.Sent,
+		QueuedEnd:    net.QueuedPackets(),
+		InFlightEnd:  net.InFlightPackets(),
+		Epochs:       net.EpochSeq(),
 		Flows:        reg.Stats.FlowsStarted,
 		Drops:        net.Hops.TotalDrops(),
 		Retransmits:  reg.Stats.Retransmits,
@@ -398,6 +435,7 @@ func Run(cfg RunCfg) *RunResult {
 		Scheme:      cfg.Scheme.Name,
 		Seed:        cfg.Seed,
 		Load:        cfg.Load,
+		Engine:      engine,
 		ConfigHash:  obs.ConfigHash(provConfig(cfg)),
 		Events:      res.Events,
 		Flows:       res.Flows,
@@ -434,6 +472,8 @@ func provConfig(cfg RunCfg) any {
 		FailLinks         int
 		FailAtNs          int64
 		InstantReconverge bool
+		Campaign          string
+		RouteDelayNs      int64
 		DisablePool       bool
 		LegacyScheduler   bool
 		SampleQueues      bool
@@ -447,8 +487,11 @@ func provConfig(cfg RunCfg) any {
 		WarmupNs: int64(cfg.Warmup), MeasureNs: int64(cfg.Measure),
 		DrainNs: int64(cfg.DrainLimit), IncastNs: int64(cfg.IncastPeriod),
 		FailLinks: cfg.FailLinks, FailAtNs: int64(cfg.FailAt),
-		InstantReconverge: cfg.InstantReconverge, DisablePool: cfg.DisablePool,
-		SampleQueues: cfg.SampleQueues, TrackGRO: cfg.TrackGRO,
+		InstantReconverge: cfg.InstantReconverge,
+		Campaign:          cfg.Campaign.Fingerprint(),
+		RouteDelayNs:      int64(cfg.RouteDelay),
+		DisablePool:       cfg.DisablePool,
+		SampleQueues:      cfg.SampleQueues, TrackGRO: cfg.TrackGRO,
 		VisFactor: cfg.VisFactor, Synthetic: cfg.Synthetic != nil,
 		Shards: cfg.Shards,
 	}

@@ -37,6 +37,11 @@ func checkConservation(t *testing.T, when string, tr *trace.Tracer, net *fabric.
 	}
 	// The trace layer and the fabric's own aggregate counters are
 	// independent tallies of the same events; they must agree exactly.
+	// (Sent is read directly: these runs are sequential, where the single
+	// domain's counter aliases the network total.)
+	if sent != net.Sent {
+		t.Errorf("%s: trace counted %d sends, fabric counted %d", when, sent, net.Sent)
+	}
 	if delivered != net.Delivered {
 		t.Errorf("%s: trace counted %d delivers, fabric counted %d", when, delivered, net.Delivered)
 	}

@@ -1,0 +1,253 @@
+package fabric
+
+import (
+	"drill/internal/quiver"
+	"drill/internal/topo"
+	"drill/internal/units"
+)
+
+// Epoch is one immutable generation of control-plane configuration: the
+// link up/down vector it was computed for, the routes derived from that
+// vector, the balancer's forwarding tables, and (for Quiver-based schemes)
+// the symmetric-component decomposition. The data plane never consults an
+// Epoch directly — ApplyEpoch installs its contents into the running
+// Network in one atomic step — so a built-but-unapplied epoch can be held,
+// inspected, or discarded without perturbing the simulation.
+//
+// Epochs are the reconfiguration unit the ROADMAP's control-plane/dataplane
+// split calls for: everything a scheme bakes in at construction time
+// (routes, tables, decomposition) lives in the epoch, while per-engine
+// scheduler state, queue contents, and counters are runtime state that
+// survives a swap (engines restart their per-group state because group IDs
+// change meaning across table generations).
+type Epoch struct {
+	// Seq is the epoch's generation number: 1 for the construction-time
+	// epoch, monotonically increasing from there. BuildEpoch assigns it.
+	Seq uint64
+
+	// BuiltAt is the sim time the epoch was computed — the moment the
+	// control plane snapshotted link state. The reconvergence delay is the
+	// gap between the triggering event and the ApplyEpoch that installs it.
+	BuiltAt units.Time
+
+	// Scheme is the balancer the tables were built for.
+	Scheme string
+
+	// LinkUp is the link up/down vector the epoch was computed from,
+	// indexed by topo.LinkID. ApplyEpoch syncs the data plane to it.
+	LinkUp []bool
+
+	// Routes is the shortest-path routing state over LinkUp.
+	Routes *topo.Routes
+
+	// Quiver is the symmetric-component decomposition, non-nil only when
+	// the balancer's table builder decomposes via the Quiver (§3.4).
+	Quiver *quiver.Quiver
+
+	// tables holds the per-switch forwarding tables, in the (node-ordered)
+	// sequence the builder installed them.
+	tables []epochTable
+}
+
+// epochTable is one switch's forwarding state within an epoch.
+type epochTable struct {
+	node       topo.NodeID
+	tables     [][]Group
+	groupCount int32
+}
+
+// Epoch returns the currently applied epoch.
+func (n *Network) Epoch() *Epoch { return n.epoch }
+
+// EpochSeq returns the generation number of the applied epoch — a cheap
+// "how many reconvergences have happened" probe for tests and telemetry.
+func (n *Network) EpochSeq() uint64 {
+	if n.epoch == nil {
+		return 0
+	}
+	return n.epoch.Seq
+}
+
+// Quiver returns the applied epoch's symmetric-component decomposition,
+// nil when the active scheme does not build one.
+func (n *Network) Quiver() *quiver.Quiver { return n.quiver }
+
+// BuildEpoch computes a fresh epoch from the topology's current link
+// state: routes, the balancer's forwarding tables, and — when the builder
+// installs one — the Quiver decomposition. The running network is not
+// modified: table installation is captured into the epoch (InstallTables
+// and InstallQuiver redirect while n.building is set), and n.Routes is
+// restored after the builder runs. Control-plane cost only; never call it
+// from the data-plane hot path.
+func (n *Network) BuildEpoch() *Epoch {
+	e := &Epoch{
+		Seq:     n.epochSeq + 1,
+		BuiltAt: n.Sim.Now(),
+		Scheme:  n.balancer.Name(),
+		LinkUp:  make([]bool, len(n.Topo.Links)),
+	}
+	for i := range n.Topo.Links {
+		e.LinkUp[i] = n.Topo.Links[i].Up
+	}
+	e.Routes = topo.ComputeRoutes(n.Topo)
+	// Table builders read net.Routes; point them at the epoch's routes for
+	// the duration of the build, and capture their InstallTables calls.
+	saved := n.Routes
+	n.Routes = e.Routes
+	n.building = e
+	if tb, ok := n.balancer.(TableBuilder); ok {
+		tb.BuildTables(n)
+	} else {
+		n.BuildDefaultTables()
+	}
+	n.building = nil
+	n.Routes = saved
+	return e
+}
+
+// ApplyEpoch atomically swaps the network onto epoch e: the link up/down
+// vector, routes, Quiver decomposition, and every switch's forwarding
+// tables (per-group engine state restarts, as after any table rebuild).
+//
+// It is a barrier-class operation: call it only from a global-class sim
+// event (AtGlobal/AfterGlobal) — sequentially the global class orders it
+// ahead of same-instant data-plane events; under the sharded engine
+// globals run at a window barrier with every shard parked, so the swap is
+// atomic with respect to all shards and touching cross-shard port and
+// stat state here is legal.
+//
+// Syncing a link down drains its ports exactly as FailLink does (packets
+// queued on a dead link are lost); syncing a link up kicks transmission if
+// anything is waiting. A flap shorter than an in-service packet's
+// serialization time is invisible to that packet: its txDone finds the
+// port up again and delivers normally.
+func (n *Network) ApplyEpoch(e *Epoch) {
+	for li := range e.LinkUp {
+		up := e.LinkUp[li]
+		n.Topo.Links[li].Up = up
+		for dir := int32(0); dir < 2; dir++ {
+			p := n.Ports[n.chanPort[2*int32(li)+dir]]
+			if p.up == up {
+				continue
+			}
+			p.up = up
+			if up {
+				if !p.busy && !p.queueEmpty() {
+					n.transmit(p)
+				}
+			} else if !p.busy {
+				n.drainPort(p)
+			}
+		}
+	}
+	n.Routes = e.Routes
+	n.quiver = e.Quiver
+	for i := range e.tables {
+		et := &e.tables[i]
+		sw := n.swByNode[et.node]
+		sw.tables = et.tables
+		sw.groupCount = et.groupCount
+		sw.resetEngineState()
+	}
+	n.epoch = e
+	n.epochSeq = e.Seq
+}
+
+// ApplyEpochAt schedules an atomic swap onto e at sim time t, as a
+// global-class event (a barrier under the sharded engine).
+func (n *Network) ApplyEpochAt(t units.Time, e *Epoch) {
+	n.Sim.AtGlobal(t, func() { n.ApplyEpoch(e) })
+}
+
+// Reconverge recomputes routing and tables from the topology's current
+// link state and applies the result immediately — the idealized
+// zero-delay control-plane step. It is invoked at construction and by the
+// instant variants of FailLink/RestoreLink; the delayed variants go
+// through scheduleReconverge. Like ApplyEpoch, mid-run callers must be on
+// a global-class event.
+func (n *Network) Reconverge() {
+	n.ApplyEpoch(n.BuildEpoch())
+}
+
+// scheduleReconverge arms one coalesced reconvergence RouteDelay from now.
+// Further failure or recovery events inside the window ride the same
+// pending epoch build instead of scheduling their own — the control plane
+// batches LSAs — so N flaps in a window rebuild every switch's tables
+// once, not N times. The epoch is built at fire time, from whatever the
+// link vector then is.
+func (n *Network) scheduleReconverge() {
+	if n.reconvergePending {
+		return
+	}
+	n.reconvergePending = true
+	n.Sim.AfterGlobal(n.Cfg.RouteDelay, n.reconvergeFire)
+}
+
+func (n *Network) reconvergeFire() {
+	n.reconvergePending = false
+	n.Reconverge()
+}
+
+// FailLink takes a link out of service mid-run: both directions stop
+// transmitting, queued packets are lost, and the control plane reconverges
+// after Cfg.RouteDelay (coalesced across failures in the same window; pass
+// instantReconverge for the idealized variant). Failing an already-down
+// link is a no-op — notably it does not drain (and double-count drops on)
+// ports that are already dead. Call from a global-class event mid-run.
+func (n *Network) FailLink(id topo.LinkID, instantReconverge bool) {
+	if !n.Topo.Links[id].Up {
+		return
+	}
+	n.Topo.FailLink(id)
+	for dir := int32(0); dir < 2; dir++ {
+		p := n.Ports[n.chanPort[2*int32(id)+dir]]
+		p.up = false
+		// If a packet is mid-transmission its txDone event is in flight;
+		// that event drops it and drains the rest. Otherwise drain now.
+		if !p.busy {
+			n.drainPort(p)
+		}
+	}
+	if instantReconverge {
+		n.Reconverge()
+	} else {
+		n.scheduleReconverge()
+	}
+}
+
+// RestoreLink is FailLink's missing inverse: it returns a link to service
+// mid-run. Both directions come up immediately — the wire is live the
+// moment the transceiver is — and transmission kicks off if anything is
+// waiting; the control plane reconverges after Cfg.RouteDelay (coalesced,
+// like failures), so traffic only shifts back once tables catch up.
+// Restoring an already-up link is a no-op. Call from a global-class event
+// mid-run.
+func (n *Network) RestoreLink(id topo.LinkID, instantReconverge bool) {
+	if n.Topo.Links[id].Up {
+		return
+	}
+	n.Topo.RestoreLink(id)
+	for dir := int32(0); dir < 2; dir++ {
+		p := n.Ports[n.chanPort[2*int32(id)+dir]]
+		p.up = true
+		if !p.busy && !p.queueEmpty() {
+			n.transmit(p)
+		}
+	}
+	if instantReconverge {
+		n.Reconverge()
+	} else {
+		n.scheduleReconverge()
+	}
+}
+
+// InstallQuiver records the decomposition a table builder computed, so the
+// epoch (and Network.Quiver) expose it for inspection and experiments.
+// DRILLAsym calls it from BuildTables.
+func (n *Network) InstallQuiver(q *quiver.Quiver) {
+	if n.building != nil {
+		n.building.Quiver = q
+		return
+	}
+	n.quiver = q
+}

@@ -57,6 +57,7 @@ func (h *Host) Send(pkt *Packet) {
 	pkt.Sent = h.dom.sim.Now()
 	pkt.Hops = 0
 	pkt.PathIdx = 0
+	*h.dom.sent++
 	if h.net.sendHook != nil {
 		h.net.sendHook.OnSend(h.net, h, pkt)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"drill/internal/metrics"
+	"drill/internal/quiver"
 	"drill/internal/sim"
 	"drill/internal/topo"
 	"drill/internal/trace"
@@ -144,6 +145,12 @@ type Network struct {
 	// Delivered counts packets handed to destination hosts.
 	Delivered int64
 
+	// Sent counts packets hosts handed to their NICs — the left side of the
+	// conservation law Sent == Delivered + drops + queued + in-flight.
+	// Under the sharded engine each domain keeps its own counter and this
+	// one carries the folded total after FoldShards.
+	Sent int64
+
 	balancer  Balancer
 	txObs     TxObserver
 	arriveObs ArriveObserver
@@ -162,6 +169,18 @@ type Network struct {
 	sharded   bool
 	doms      []*domain
 	domByNode []*domain
+
+	// Live-reconfiguration state (see epoch.go). epoch is the applied
+	// generation; building, when non-nil, redirects InstallTables and
+	// InstallQuiver into the epoch under construction instead of the
+	// running switches; reconvergePending coalesces scheduled
+	// reconvergences so N failures in one RouteDelay window build one
+	// epoch, not N.
+	epoch             *Epoch
+	epochSeq          uint64
+	building          *Epoch
+	reconvergePending bool
+	quiver            *quiver.Quiver
 }
 
 // AllocPacket returns a zeroed packet for the transport layer to fill and
@@ -199,7 +218,7 @@ func New(s *sim.Sim, t *topo.Topology, cfg Config) *Network {
 	// The one sequential domain aliases the Network's own fields, so the
 	// single-scheduler data plane reads and writes exactly what it always
 	// did, one pointer hop away.
-	d := &domain{sim: s, hops: &n.Hops, delivered: &n.Delivered, pool: &n.pool}
+	d := &domain{sim: s, hops: &n.Hops, delivered: &n.Delivered, sent: &n.Sent, pool: &n.pool}
 	n.doms = []*domain{d}
 	n.domByNode = make([]*domain, len(t.Nodes))
 	for i := range n.domByNode {
@@ -339,16 +358,53 @@ func (n *Network) QueuedPackets() int64 {
 	return q
 }
 
-// Reconverge recomputes routing from the topology's current link state and
-// rebuilds forwarding tables — the control-plane (OSPF+ECMP) step. It is
-// invoked at construction and after the RouteDelay following a failure.
-func (n *Network) Reconverge() {
-	n.Routes = topo.ComputeRoutes(n.Topo)
-	if tb, ok := n.balancer.(TableBuilder); ok {
-		tb.BuildTables(n)
-	} else {
-		n.BuildDefaultTables()
+// InFlightPackets counts packets on the wire: parked on a port's in-flight
+// ring awaiting arrival, or awaiting exchange in a shard outbox — the last
+// term of the conservation law Sent == Delivered + drops + queued +
+// in-flight. Under Cfg.DisableBatch (the sequential-only legacy reference
+// path) in-flight packets live as scheduler closures and are not countable
+// here. Barrier-safe: valid mid-run from a global-class event and after a
+// full drain (where it reports 0 unless links are partitioned down).
+func (n *Network) InFlightPackets() int64 {
+	var f int64
+	for _, p := range n.Ports {
+		f += int64(p.wireRing.len())
 	}
+	for _, d := range n.doms {
+		f += int64(len(d.outbox))
+	}
+	return f
+}
+
+// SentPackets sums host sends across domains. Unlike the Sent field it is
+// valid mid-run from a global-class event (all shards parked), before
+// FoldShards has run.
+func (n *Network) SentPackets() int64 {
+	var s int64
+	for _, d := range n.doms {
+		s += *d.sent
+	}
+	return s
+}
+
+// DeliveredPackets sums deliveries across domains; barrier-safe like
+// SentPackets.
+func (n *Network) DeliveredPackets() int64 {
+	var s int64
+	for _, d := range n.doms {
+		s += *d.delivered
+	}
+	return s
+}
+
+// DroppedPackets sums drops across domains' hop-stat blocks; barrier-safe
+// like SentPackets.
+func (n *Network) DroppedPackets() int64 {
+	var s int64
+	for _, d := range n.doms {
+		s += d.hops.TotalDrops()
+	}
+	return s
 }
 
 // SwitchList returns the switches ordered by node ID. Table builders and
@@ -386,15 +442,20 @@ func (n *Network) BuildDefaultTables() {
 			sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 			tables[li] = []Group{{ID: ded.id(ports), Ports: ports, Weight: 1}}
 		}
-		sw.tables = tables
-		sw.groupCount = ded.count
-		sw.resetEngineState()
+		n.InstallTables(sw, tables, ded.count)
 	}
 }
 
 // InstallTables lets a TableBuilder install custom groups at a switch.
 // Groups' IDs are assigned by port-set identity via the returned deduper.
+// During BuildEpoch the installation is captured into the epoch under
+// construction instead of touching the running switch (see epoch.go).
 func (n *Network) InstallTables(sw *Switch, tables [][]Group, groupCount int32) {
+	if n.building != nil {
+		n.building.tables = append(n.building.tables,
+			epochTable{node: sw.Node, tables: tables, groupCount: groupCount})
+		return
+	}
 	sw.tables = tables
 	sw.groupCount = groupCount
 	sw.resetEngineState()
@@ -430,31 +491,6 @@ func (d *groupDeduper) id(ports []int32) int32 {
 	d.ids[k] = id
 	d.count++
 	return id
-}
-
-// FailLink takes a link out of service mid-run: both directions stop
-// transmitting, queued packets are lost, and the control plane reconverges
-// after Cfg.RouteDelay (use ReconvergeNow for the idealized variant).
-func (n *Network) FailLink(id topo.LinkID, instantReconverge bool) {
-	n.Topo.FailLink(id)
-	for dir := int32(0); dir < 2; dir++ {
-		p := n.Ports[n.chanPort[2*int32(id)+dir]]
-		p.up = false
-		// If a packet is mid-transmission its txDone event is in flight;
-		// that event drops it and drains the rest. Otherwise drain now.
-		if !p.busy {
-			n.drainPort(p)
-		}
-	}
-	if instantReconverge {
-		n.Reconverge()
-	} else {
-		// Reconvergence rewrites tables at every switch, so it is a
-		// barrier-class event: under the sharded engine it must run with
-		// all shards parked, and sequentially the global class only moves
-		// it ahead of same-instant data-plane events.
-		n.Sim.AfterGlobal(n.Cfg.RouteDelay, n.Reconverge)
-	}
 }
 
 // dropHopClass buckets a packet dropped *at* a switch — no output port

@@ -34,6 +34,8 @@ func (f *fifo[T]) pop() T {
 
 func (f *fifo[T]) empty() bool { return f.head == len(f.buf) }
 
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
+
 //drill:hotpath
 func (f *fifo[T]) peek() *T { return &f.buf[f.head] }
 

@@ -21,6 +21,7 @@ type domain struct {
 	sim       *sim.Sim
 	hops      *metrics.HopStats
 	delivered *int64
+	sent      *int64
 	pool      *PacketPool
 
 	// outbox holds departures over boundary links, in departure order,
@@ -83,6 +84,7 @@ func NewSharded(global *sim.Sim, shards []*sim.Sim, assign []int, t *topo.Topolo
 			id: i, sim: s,
 			hops:      &metrics.HopStats{},
 			delivered: new(int64),
+			sent:      new(int64),
 			pool:      &PacketPool{},
 		}
 	}
@@ -171,6 +173,7 @@ func (n *Network) FoldShards() {
 	for _, d := range n.doms {
 		n.Hops.Merge(d.hops)
 		n.Delivered += *d.delivered
+		n.Sent += *d.sent
 		n.pool.Gets += d.pool.Gets
 		n.pool.News += d.pool.News
 		n.pool.Puts += d.pool.Puts

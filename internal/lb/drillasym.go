@@ -28,6 +28,7 @@ func (d *DRILLAsym) Name() string { return fmt.Sprintf("DRILL(%d,%d)+quiver", d.
 // group per symmetric component at every switch.
 func (d *DRILLAsym) BuildTables(net *fabric.Network) {
 	q := quiver.Build(net.Routes)
+	net.InstallQuiver(q)
 	for _, sw := range net.SwitchList() {
 		tables := make([][]fabric.Group, len(net.Topo.Leaves))
 		ded := fabric.NewGroupDeduper()

@@ -95,6 +95,12 @@ type CellSummary struct {
 
 	ConfigHash string `json:"config_hash"`
 
+	// Engine records which engine actually executed the cell —
+	// "sequential", or "sharded/N" with the effective shard count. A cell
+	// requested sharded can land on "sequential" (ShardUnsafe balancer);
+	// the manifest keeps the truth.
+	Engine string `json:"engine,omitempty"`
+
 	Events      uint64  `json:"events"`
 	Flows       int64   `json:"flows"`
 	Drops       int64   `json:"drops"`
