@@ -42,6 +42,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"drill/internal/experiments"
@@ -71,9 +72,10 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
 		progressHB    = flag.Bool("progress", false, "print a sweep heartbeat line to stderr every wall second (forced off at -workers 1)")
-		metricsAddr   = flag.String("metrics-addr", "", "serve live metrics on this address (Prometheus text at /metrics, JSON at /metrics.json; :0 picks a free port)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve live metrics on this address (Prometheus text at /metrics, JSON at /metrics.json, engine report at /engine.json; :0 picks a free port)")
 		metricsSample = flag.Duration("metrics-sample", 100*time.Microsecond, "sim-time snapshot interval when live metrics are enabled")
 		manifestOut   = flag.String("manifest", "", "write a provenance manifest (build info, seed, per-cell config hashes) to this JSON file")
+		engineReport  = flag.Bool("engine-report", false, "print each cell's engine observatory report (per-shard ev/s, stall %, window-size quantiles, scheduler internals) to stderr")
 	)
 	flag.Parse()
 
@@ -207,14 +209,40 @@ func main() {
 		reg = obs.NewRegistry(32)
 		opts.Obs = reg
 		opts.ObsSample = units.Time(metricsSample.Nanoseconds())
+		// Metrics on means the engine observatory is on: the drill_shard_*
+		// / drill_window_* / drill_sched_* families ride the same registry
+		// and the same observe-never-steer contract.
+		opts.EngineObs = true
+	}
+	// The latest completed cell's engine report, published to /engine.json
+	// and (with -engine-report) printed per cell. The sink runs on the
+	// fan-out pool's serialized done callbacks; scrapes read the atomic
+	// pointer, never the running simulation.
+	var engineRep atomic.Pointer[obs.EngineReport]
+	if *engineReport || *metricsAddr != "" {
+		opts.EngineSink = func(cell int, rep *obs.EngineReport) {
+			if rep == nil {
+				return
+			}
+			engineRep.Store(rep)
+			if *engineReport {
+				fmt.Fprintf(os.Stderr, "engine report (cell %d): %s", cell, rep.Format())
+			}
+		}
 	}
 	if *metricsAddr != "" {
-		srv, err := obshttp.Serve(*metricsAddr, reg)
+		srv, err := obshttp.ServeConfig(*metricsAddr, obshttp.Config{
+			Reg:    reg,
+			Engine: engineRep.Load,
+			OnWriteError: func(endpoint string, err error) {
+				fmt.Fprintf(os.Stderr, "drillsim: metrics scrape %s: %v\n", endpoint, err)
+			},
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "drillsim: -metrics-addr: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "drillsim: serving metrics at %s/metrics (JSON at /metrics.json)\n", srv.URL())
+		fmt.Fprintf(os.Stderr, "drillsim: serving metrics at %s/metrics (JSON at /metrics.json, engine report at /engine.json)\n", srv.URL())
 		defer srv.Close()
 	}
 	var man *obs.Manifest

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"time"
 
 	"drill/internal/obs"
@@ -70,8 +72,8 @@ func (hb *heartbeat) loop(every time.Duration) {
 			} else if total > 0 && done >= total {
 				eta = "0s"
 			}
-			fmt.Fprintf(hb.out, "  progress: sim=%s ev/s=%.3g cells=%.0f/%.0f eta=%s\n",
-				simT, rate, done, total, eta)
+			fmt.Fprintf(hb.out, "  progress: sim=%s ev/s=%.3g cells=%.0f/%.0f eta=%s%s\n",
+				simT, rate, done, total, eta, shardSuffix(snap))
 		}
 	}
 }
@@ -86,4 +88,57 @@ func sumFamily(s *obs.Snapshot, name string) float64 {
 		}
 	}
 	return sum
+}
+
+// shardSuffix renders the sharded-engine tail of a heartbeat line from the
+// drill_shard_* families: aggregate barrier stall %% and the min..max
+// per-shard event rate across every (cell, shard) series. Sequential
+// sweeps register none of these families, so the suffix is empty and the
+// heartbeat line is unchanged.
+func shardSuffix(s *obs.Snapshot) string {
+	type row struct{ events, busy, stall float64 }
+	rows := map[string]*row{}
+	get := func(labels string) *row {
+		r := rows[labels]
+		if r == nil {
+			r = &row{}
+			rows[labels] = r
+		}
+		return r
+	}
+	for i := range s.Points {
+		p := &s.Points[i]
+		switch p.Name {
+		case "drill_shard_events_total":
+			get(p.Labels).events = p.Value
+		case "drill_shard_busy_seconds_total":
+			get(p.Labels).busy = p.Value
+		case "drill_shard_stall_seconds_total":
+			get(p.Labels).stall = p.Value
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	// Aggregates only — min, max, sums — so the map's iteration order
+	// cannot show through.
+	var busy, stall float64
+	minRate, maxRate := math.Inf(1), 0.0
+	for _, r := range rows {
+		busy += r.busy
+		stall += r.stall
+		if r.busy > 0 {
+			rate := r.events / r.busy
+			minRate = math.Min(minRate, rate)
+			maxRate = math.Max(maxRate, rate)
+		}
+	}
+	var b strings.Builder
+	if busy+stall > 0 {
+		fmt.Fprintf(&b, " stall=%.0f%%", 100*stall/(busy+stall))
+	}
+	if maxRate > 0 {
+		fmt.Fprintf(&b, " shard-ev/s=%.3g..%.3g", minRate, maxRate)
+	}
+	return b.String()
 }

@@ -72,6 +72,65 @@ func TestHeartbeatLines(t *testing.T) {
 	}
 }
 
+// TestShardSuffix pins the sharded-engine heartbeat tail: aggregate
+// barrier stall percentage plus the min..max per-shard event rate across
+// every (cell, shard) series — and an empty string when the sweep runs
+// the sequential engine and registers no drill_shard_* families at all.
+func TestShardSuffix(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	if got := shardSuffix(reg.Capture(0)); got != "" {
+		t.Errorf("suffix without shard families = %q, want empty", got)
+	}
+
+	// Two shards of one cell: 2e6 events in 1s busy + 1s stalled, and
+	// 8e6 events in 1s busy + 3s stalled → stall = 4/6 = 67%, rates
+	// 2e6..8e6.
+	set := func(name, shard string, v float64) {
+		reg.Gauge(name, `exp="x",cell="0",shard="`+shard+`"`, "test").Set(v)
+	}
+	set("drill_shard_events_total", "0", 2e6)
+	set("drill_shard_busy_seconds_total", "0", 1)
+	set("drill_shard_stall_seconds_total", "0", 1)
+	set("drill_shard_events_total", "1", 8e6)
+	set("drill_shard_busy_seconds_total", "1", 1)
+	set("drill_shard_stall_seconds_total", "1", 3)
+	got := shardSuffix(reg.Capture(0))
+	want := " stall=67% shard-ev/s=2e+06..8e+06"
+	if got != want {
+		t.Errorf("shardSuffix = %q, want %q", got, want)
+	}
+}
+
+// TestHeartbeatShardLine drives the full heartbeat against a registry
+// carrying shard families and checks the emitted line ends with the
+// sharded tail, alongside the usual fields.
+func TestHeartbeatShardLine(t *testing.T) {
+	reg := obs.NewRegistry(4)
+	reg.Gauge("drill_run_events", `exp="x",cell="0"`, "test").Set(1e6)
+	reg.Counter("drill_runner_cells_done_total", `exp="x"`, "test").Add(1)
+	reg.Gauge("drill_runner_cells_total", `exp="x"`, "test").Set(2)
+	reg.Gauge("drill_shard_events_total", `exp="x",cell="0",shard="0"`, "test").Set(4e6)
+	reg.Gauge("drill_shard_busy_seconds_total", `exp="x",cell="0",shard="0"`, "test").Set(2)
+	reg.Gauge("drill_shard_stall_seconds_total", `exp="x",cell="0",shard="0"`, "test").Set(2)
+	reg.Snapshot(500 * units.Microsecond)
+
+	var out syncBuffer
+	hb := startHeartbeat(reg, &out, 5*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(out.String(), "progress:") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	hb.Stop()
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("no heartbeat lines emitted; output: %q", out.String())
+	}
+	want := regexp.MustCompile(`progress: sim=\S+ ev/s=\S+ cells=1/2 eta=\S+ stall=50% shard-ev/s=2e\+06\.\.2e\+06$`)
+	if !want.MatchString(lines[0]) {
+		t.Errorf("heartbeat line %q does not match %v", lines[0], want)
+	}
+}
+
 // TestSumFamily pins the helper: sums across label sets of one family,
 // ignores other families.
 func TestSumFamily(t *testing.T) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -105,6 +106,15 @@ type BenchCellResult struct {
 	// it. Gets - Allocs is the allocation volume recycling avoided.
 	PacketGets   int64 `json:"packet_gets"`
 	PacketAllocs int64 `json:"packet_allocs"`
+
+	// Engine observatory summary, sharded cells only: windows run, wall
+	// time parked at barriers as a share of total shard wall time, and the
+	// max/mean per-shard event imbalance. Informational — benchdiff
+	// compares only its named metrics, so snapshots without these fields
+	// stay diffable.
+	Windows         uint64  `json:"windows,omitempty"`
+	BarrierStallPct float64 `json:"barrier_stall_pct,omitempty"`
+	ShardImbalance  float64 `json:"shard_imbalance,omitempty"`
 }
 
 // MicroAllocs are testing.AllocsPerRun measurements of the three hot paths
@@ -205,6 +215,11 @@ func RunBenchCell(c BenchCell) BenchCellResult {
 	if secs := wall.Seconds(); secs > 0 {
 		out.EventsPerSec = float64(res.Events) / secs
 	}
+	if rep := res.EngineRep; rep != nil && len(rep.Shards) > 0 {
+		out.Windows = rep.WindowCount
+		out.BarrierStallPct = rep.StallPct()
+		out.ShardImbalance = rep.Imbalance()
+	}
 	return out
 }
 
@@ -223,15 +238,21 @@ func RunBench(seed int64, progress func(format string, args ...any)) BenchReport
 	for _, c := range append(BenchCells(seed), BenchShardCells(seed)...) {
 		r := RunBenchCell(c)
 		if progress != nil {
-			progress("%-14s %8.3g ev/s  %6.1f ns/ev  %6.3f allocs/ev  peak %5.1f MB",
+			suffix := ""
+			if r.Windows > 0 {
+				suffix = fmt.Sprintf("  windows %d  stall %.1f%%  imb %.2f",
+					r.Windows, r.BarrierStallPct, r.ShardImbalance)
+			}
+			progress("%-14s %8.3g ev/s  %6.1f ns/ev  %6.3f allocs/ev  peak %5.1f MB%s",
 				r.Name, r.EventsPerSec, r.NsPerEvent, r.AllocsPerEvent,
-				float64(r.PeakHeapBytes)/1e6)
+				float64(r.PeakHeapBytes)/1e6, suffix)
 		}
 		rep.Cells = append(rep.Cells, r)
 		rep.Provenance.Add(obs.CellSummary{
 			Cell: r.Name, Scheme: r.Scheme, Seed: seed, Load: r.Load,
 			ConfigHash: obs.ConfigHash(provConfig(c.Cfg)),
 			Events:     r.Events, Flows: r.Flows, WallNs: r.WallNs,
+			Windows: r.Windows, Imbalance: r.ShardImbalance,
 		})
 	}
 	rep.Micro = BenchMicroAllocs()

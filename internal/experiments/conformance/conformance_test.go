@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"drill/internal/experiments"
+	"drill/internal/obs"
 	"drill/internal/topo"
 	"drill/internal/units"
 )
@@ -90,6 +91,84 @@ func TestShardedReconfigurationCells(t *testing.T) {
 		for _, d := range Diff(cfg, counts(), Options{Trace: true, Obs: true}) {
 			t.Errorf("reconfig cell %d (%s seed=%d campaign=%s): %s",
 				i, cfg.Scheme.Name, cfg.Seed, cfg.Campaign.Name, d)
+		}
+	}
+}
+
+// TestEngineTelemetryIsByteIdentical is the engine observatory's
+// observe-never-steer proof: turning on EngineObs — per-shard window
+// counters folded at barriers, the exchange matrix, scheduler internals,
+// pprof-label bookkeeping, the engine report — may not change a single
+// result byte, on the sequential engine and at every shard count, across
+// every conformance cell including the reconfiguration campaigns. Only
+// the result fingerprint is compared (not ObsLines): the drill_shard_* /
+// drill_sched_* series sets are engine-shaped by design, which is exactly
+// why EngineObs is opt-in.
+func TestEngineTelemetryIsByteIdentical(t *testing.T) {
+	cells := append(Cells(), ReconfigCells()...)
+	engineCounts := append([]int{0}, counts()...)
+	if testing.Short() {
+		cells = cells[:2]
+		engineCounts = []int{0, 2}
+	}
+	for i, cfg := range cells {
+		for _, n := range engineCounts {
+			v := cfg
+			v.Shards = n
+			plain := Fingerprint(experiments.Run(v))
+
+			instr := v
+			instr.Obs = obs.NewRegistry(8)
+			instr.ObsScope = `conf="engine"`
+			instr.ObsSample = 50 * units.Microsecond
+			instr.EngineObs = true
+			res := experiments.Run(instr)
+			if got := Fingerprint(res); got != plain {
+				t.Errorf("cell %d (%s seed=%d) shards=%d: engine telemetry changed the results:\n--- off\n%s--- on\n%s",
+					i, cfg.Scheme.Name, cfg.Seed, n, plain, got)
+			}
+
+			// The telemetry must be live, not byte-identical-because-dead:
+			// every shard's events gauge registered and their sum equal to
+			// the run's own event count.
+			last := instr.Obs.Latest()
+			if last == nil {
+				t.Fatalf("cell %d shards=%d: snapshotter never published", i, n)
+			}
+			shardLabels := map[string]bool{}
+			var events float64
+			for j := range last.Points {
+				if last.Points[j].Name == "drill_shard_events_total" {
+					shardLabels[last.Points[j].Labels] = true
+					events += last.Points[j].Value
+				}
+			}
+			if n == 0 {
+				if len(shardLabels) != 0 {
+					t.Errorf("cell %d sequential: %d drill_shard_events_total series, want none", i, len(shardLabels))
+				}
+			} else {
+				// Partitioning clamps to the domain count, so expect the
+				// effective shard count the engine actually ran.
+				if res.EngineRep == nil || len(res.EngineRep.Shards) == 0 {
+					t.Fatalf("cell %d shards=%d: no engine report", i, n)
+				}
+				if want := len(res.EngineRep.Shards); len(shardLabels) != want {
+					t.Errorf("cell %d shards=%d: %d drill_shard_events_total series, want %d",
+						i, n, len(shardLabels), want)
+				}
+				// The gauges exclude the global scheduler's events, so the
+				// reference is the report's shard total, which in turn must
+				// stay within the run's full event count.
+				if want := res.EngineRep.TotalEvents(); uint64(events) != want {
+					t.Errorf("cell %d shards=%d: shard events gauges sum to %v, report says %d",
+						i, n, events, want)
+				}
+				if res.EngineRep.TotalEvents() == 0 || res.EngineRep.TotalEvents() > res.Events {
+					t.Errorf("cell %d shards=%d: shard event total %d vs run events %d",
+						i, n, res.EngineRep.TotalEvents(), res.Events)
+				}
+			}
 		}
 	}
 }

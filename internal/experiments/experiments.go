@@ -77,6 +77,14 @@ type Options struct {
 	Obs *obs.Registry
 	// ObsSample overrides the per-run snapshot interval (default 100µs).
 	ObsSample units.Time
+	// EngineObs, with Obs attached, registers the engine observatory
+	// families for every run of the sweep (see RunCfg.EngineObs).
+	EngineObs bool
+	// EngineSink, when non-nil, receives each completed cell's engine
+	// report, tagged with the cell index. Calls are serialized by the
+	// fan-out pool's done callbacks, so the sink may touch shared state
+	// (a stderr printer, the /engine.json atomic pointer) without locking.
+	EngineSink func(cell int, rep *obs.EngineReport)
 	// Manifest, when non-nil, collects one provenance row per completed
 	// cell, in submission order regardless of worker count. The caller
 	// writes it next to the experiment output.
@@ -160,10 +168,22 @@ func (o *Options) runAll(cfgs []RunCfg, done func(i int, res *RunResult)) []*Run
 				cfgs[i].ObsScope = cellScope(o.ExpID, i)
 				cfgs[i].ObsSample = o.ObsSample
 			}
+			if o.EngineObs {
+				cfgs[i].EngineObs = true
+			}
 		}
 		inner := done
 		done = func(i int, res *RunResult) {
 			rm.observe(res) // done callbacks are serialized by the pool
+			if inner != nil {
+				inner(i, res)
+			}
+		}
+	}
+	if o.EngineSink != nil {
+		inner := done
+		done = func(i int, res *RunResult) {
+			o.EngineSink(i, res.EngineRep) // serialized by the pool
 			if inner != nil {
 				inner(i, res)
 			}

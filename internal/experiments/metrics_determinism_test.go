@@ -139,7 +139,9 @@ func TestSweepWithMetricsIsByteIdentical(t *testing.T) {
 func TestProvenanceIsDeterministic(t *testing.T) {
 	cfg := tinySweepCfgs()[0]
 	a, b := Run(cfg), Run(cfg)
-	a.Prov.WallNs, b.Prov.WallNs = 0, 0 // wall time is the one legit difference
+	// Wall-derived fields are the one legit difference between runs.
+	a.Prov.WallNs, b.Prov.WallNs = 0, 0
+	a.Prov.StallNs, b.Prov.StallNs = 0, 0
 	if a.Prov != b.Prov {
 		t.Errorf("provenance differs across identical runs:\n%+v\n%+v", a.Prov, b.Prov)
 	}

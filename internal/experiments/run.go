@@ -123,6 +123,14 @@ type RunCfg struct {
 	ObsScope string
 	// ObsSample is the snapshot interval (default 100µs).
 	ObsSample units.Time
+	// EngineObs, with Obs attached, additionally registers the engine
+	// observatory families (drill_shard_*, drill_window_*, drill_sched_*)
+	// and refreshes them at observer barriers. Opt-in because the series
+	// set is engine-shaped: a default registry keeps the same families on
+	// both engines, so obs-inclusive fingerprints stay engine-invariant.
+	// Like Obs itself, it observes and never steers: enabling it changes
+	// no result byte (see conformance.TestEngineTelemetryIsByteIdentical).
+	EngineObs bool
 
 	// Synthetic, when non-nil, replaces the Poisson workload (Table 1).
 	Synthetic func(reg *transport.Registry, until units.Time) *workload.Synthetic
@@ -191,9 +199,16 @@ type RunResult struct {
 
 	// Prov is this run's provenance record: scheme, seed, config hash, and
 	// headline counters, ready to drop into a manifest. Deterministic
-	// fields only — wall time lives in WallNs and is excluded from
-	// determinism fingerprints.
+	// fields only — wall time lives in WallNs (and the barrier-stall
+	// total in StallNs) and is excluded from determinism fingerprints.
 	Prov obs.CellSummary
+
+	// EngineRep is the engine observatory report: per-shard window and
+	// barrier counters, the window-width distribution, the cross-shard
+	// exchange matrix, and per-scheduler internals. Always populated
+	// (sequential runs carry only the scheduler rows); never part of any
+	// result fingerprint.
+	EngineRep *obs.EngineReport
 }
 
 // SimRate returns simulated seconds advanced per wall-clock second.
@@ -301,9 +316,14 @@ func Run(cfg RunCfg) *RunResult {
 			// summing the shard counters there is race-free.
 			executed = group.Executed
 		}
-		snap = obs.StartSnapshotter(s, cfg.Obs, every, fm.Refresh, func(units.Time) {
+		refresh := []func(units.Time){fm.Refresh, func(units.Time) {
 			ev.Set(float64(executed()))
-		})
+		}}
+		if cfg.EngineObs {
+			em := newEngineMetrics(cfg.Obs, cfg.ObsScope, s, group, net)
+			refresh = append(refresh, em.Refresh)
+		}
+		snap = obs.StartSnapshotter(s, cfg.Obs, every, refresh...)
 	}
 
 	// Pre-run failures.
@@ -431,6 +451,7 @@ func Run(cfg RunCfg) *RunResult {
 	if syn != nil {
 		res.ElephantGbps = syn.ElephantGoodput(cfg.Measure + cfg.DrainLimit)
 	}
+	res.EngineRep = buildEngineReport(engine, s, group, net)
 	res.Prov = obs.CellSummary{
 		Scheme:      cfg.Scheme.Name,
 		Seed:        cfg.Seed,
@@ -448,6 +469,19 @@ func Run(cfg RunCfg) *RunResult {
 	if res.FCT.Count() > 0 {
 		res.Prov.FCTMeanUs = res.FCT.Mean() * 1000 // Stats.FCT is in ms
 		res.Prov.FCTP99Us = res.FCT.Percentile(99) * 1000
+	}
+	if group != nil {
+		// Barrier-overhead provenance: Windows and Imbalance are
+		// deterministic (pure functions of seed and partition); StallNs is
+		// wall-derived and treated exactly like WallNs by determinism
+		// comparisons.
+		res.Prov.Windows = res.EngineRep.WindowCount
+		res.Prov.Imbalance = res.EngineRep.Imbalance()
+		var stall int64
+		for _, sh := range res.EngineRep.Shards {
+			stall += sh.StallNs
+		}
+		res.Prov.StallNs = stall
 	}
 	return res
 }

@@ -169,6 +169,11 @@ type Network struct {
 	sharded   bool
 	doms      []*domain
 	domByNode []*domain
+	// exchPairs[src][dst] counts cross-shard messages moved from src's
+	// outbox into dst's wire rings, written only at window barriers by
+	// the coordinator (see ExchangeShards). Deterministic: the exchange
+	// traffic is a pure function of the event stream and the partition.
+	exchPairs [][]uint64
 
 	// Live-reconfiguration state (see epoch.go). epoch is the applied
 	// generation; building, when non-nil, redirects InstallTables and

@@ -79,6 +79,10 @@ func NewSharded(global *sim.Sim, shards []*sim.Sim, assign []int, t *topo.Topolo
 		sharded:  true,
 	}
 	n.doms = make([]*domain, len(shards))
+	n.exchPairs = make([][]uint64, len(shards))
+	for i := range n.exchPairs {
+		n.exchPairs[i] = make([]uint64, len(shards))
+	}
 	for i, s := range shards {
 		n.doms[i] = &domain{
 			id: i, sim: s,
@@ -145,6 +149,7 @@ func (n *Network) ShardLookahead() units.Time {
 // rings reuse their backing arrays, and the armed callbacks are interned.
 func (n *Network) ExchangeShards() {
 	for _, d := range n.doms {
+		pairs := n.exchPairs[d.id]
 		for i := range d.outbox {
 			m := &d.outbox[i]
 			p := m.p
@@ -153,11 +158,28 @@ func (n *Network) ExchangeShards() {
 			if idle {
 				p.dstDom.sim.AtKeyID(m.at, m.key, p.wireID)
 			}
+			pairs[p.dstDom.id]++
 			m.pkt = nil
 			m.p = nil
 		}
 		d.outbox = d.outbox[:0]
 	}
+}
+
+// ExchangeMatrix returns a copy of the cross-shard traffic matrix:
+// element [src][dst] counts messages exchanged from shard src to shard
+// dst at window barriers so far. Sequential networks return nil. The
+// matrix is written only at barriers, so reading it between RunUntil
+// calls or from a global observer tick is race-free.
+func (n *Network) ExchangeMatrix() [][]uint64 {
+	if n.exchPairs == nil {
+		return nil
+	}
+	out := make([][]uint64, len(n.exchPairs))
+	for i, row := range n.exchPairs {
+		out[i] = append([]uint64(nil), row...)
+	}
+	return out
 }
 
 // FoldShards merges every domain's stat block into the Network-level

@@ -92,3 +92,27 @@ func suppressed() []int { //drill:allow allocbudget scratch slice is amortized b
 func unmarked() []int {
 	return append(make([]int, 1), 2)
 }
+
+// engineStats mirrors the engine-telemetry counters: plain field and
+// element increments are free — zero allocation sites, so a marked
+// function of nothing but counter bumps needs no budget line at all.
+type engineStats struct {
+	windows, events uint64
+}
+
+//drill:hotpath
+func bumpCounters(st *engineStats, pairs []uint64, dst int) {
+	st.windows++
+	st.events += 2
+	pairs[dst]++
+}
+
+// engineLabel is the registration shape: rendering a per-shard label
+// body allocates, so it either stays off the hot path or declares its
+// budget like any other acknowledged cost.
+//
+//drill:hotpath
+//drill:allocs 1 one label string per shard, rendered once at registration
+func engineLabel(shard string) string {
+	return "shard=" + shard
+}

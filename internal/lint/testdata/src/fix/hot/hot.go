@@ -152,6 +152,39 @@ func (s *sw) allowedEmit() {
 	s.met.delivered.Inc() //drill:allow hotpath warm-up emission, runs once before the packet loop
 }
 
+// Engine-telemetry shape: plain integer counter fields bumped on the
+// dispatch path — scheduler tier counters, per-shard stat blocks, the
+// exchange matrix — are not emissions and need no guard; only instrument
+// and tracer method calls do. The instrument sitting next to them keeps
+// its guard obligation.
+
+type schedStats struct {
+	near, wheel, far uint64
+}
+
+type engine struct {
+	sched schedStats
+	exch  [][]uint64
+	met   *met
+}
+
+//drill:hotpath
+func (e *engine) route(tier, src, dst int) {
+	switch tier {
+	case 0:
+		e.sched.near++
+	case 1:
+		e.sched.wheel++
+	default:
+		e.sched.far++
+	}
+	e.exch[src][dst]++ // indexed matrix bump: plain integer, no guard, no alloc
+	if e.met != nil {
+		e.met.delivered.Inc() // the adjacent instrument still needs its guard
+	}
+	e.met.qdepth.Set(1) // want `unguarded metrics emission`
+}
+
 // Closure-scheduling rule: function literals handed to internal/sim
 // scheduling calls allocate per event.
 

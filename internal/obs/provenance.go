@@ -110,6 +110,14 @@ type CellSummary struct {
 	FCTMeanUs   float64 `json:"fct_mean_us,omitempty"`
 	FCTP99Us    float64 `json:"fct_p99_us,omitempty"`
 	WallNs      int64   `json:"wall_ns,omitempty"`
+
+	// Engine observatory summary (sharded cells only). Windows and
+	// Imbalance (max/mean per-shard events) are deterministic per seed
+	// and partition; StallNs is wall-derived like WallNs and excluded
+	// from determinism comparisons.
+	Windows   uint64  `json:"windows,omitempty"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+	StallNs   int64   `json:"stall_ns,omitempty"`
 }
 
 // Manifest is the provenance document written next to experiment output.

@@ -47,7 +47,12 @@
 package sim
 
 import (
+	"context"
+	"math/bits"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"drill/internal/units"
 )
@@ -57,6 +62,63 @@ import (
 type shardCmd struct {
 	t         units.Time
 	inclusive bool
+}
+
+// ShardStat is one shard's window-protocol telemetry. Windows, Events,
+// and Critical are pure functions of the event stream, identical across
+// runs of the same seed; BusyNs and StallNs are wall-clock attribution
+// (plain nanosecond counts, never sim time) and vary with the machine.
+// All fields are written only by the shard's own worker or by the
+// coordinator with every worker parked, and folded at barriers — reading
+// them from an observer tick is race-free by the barrier happens-before.
+type ShardStat struct {
+	Windows  uint64 // windows in which this shard dispatched at least one event
+	Events   uint64 // events dispatched across those windows
+	Critical uint64 // windows whose width was bounded by this shard's earliest event
+	BusyNs   int64  // wall time spent running windows
+	StallNs  int64  // wall time parked while a window ran elsewhere
+
+	winBusy int64 // scratch: the current window's busy ns, read at the barrier
+}
+
+// WindowStats is the distribution of synchronizer window widths in
+// sim-time nanoseconds, log2-bucketed so recording is a pair of integer
+// adds. Widths are sim-time differences, so the whole distribution is
+// deterministic for a given seed and shard count.
+type WindowStats struct {
+	Count uint64     // windows opened
+	SumNs uint64     // total width
+	Bkt   [65]uint64 // Bkt[i] counts widths w with bits.Len64(w) == i
+}
+
+func (w *WindowStats) record(ns uint64) {
+	w.Count++
+	w.SumNs += ns
+	w.Bkt[bits.Len64(ns)]++
+}
+
+// Quantile returns an upper bound on the q-quantile window width in
+// sim-ns: the upper edge of the log2 bucket holding that rank. q outside
+// [0,1) is clamped; an empty distribution reports 0.
+func (w *WindowStats) Quantile(q float64) uint64 {
+	if w.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(w.Count))
+	if rank >= w.Count {
+		rank = w.Count - 1
+	}
+	var seen uint64
+	for i, c := range w.Bkt {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 0
 }
 
 // ShardGroup couples one global scheduler with N shard schedulers under
@@ -80,6 +142,21 @@ type ShardGroup struct {
 	cmds    []chan shardCmd
 	wg      sync.WaitGroup
 	started bool
+
+	// Window-protocol telemetry, folded at barriers. None of it feeds
+	// back into scheduling decisions (observe, never steer): window
+	// sizing reads only NextAt and the lookahead, exactly as before.
+	stats      []ShardStat
+	dispatched []bool // scratch: which shards received the current window
+	win        WindowStats
+	barriers   uint64
+
+	// Precomputed pprof label contexts: built once at Start so applying
+	// a label on the window path is a single SetGoroutineLabels call
+	// with no allocation (pprof.Do would allocate per window).
+	ctxBarrier  context.Context
+	ctxExchange context.Context
+	ctxWindow   []context.Context
 }
 
 // Start validates the configuration and launches one persistent worker
@@ -96,24 +173,43 @@ func (g *ShardGroup) Start() {
 		panic("sim: ShardGroup requires a positive lookahead bound")
 	}
 	g.cmds = make([]chan shardCmd, len(g.Shards))
+	g.stats = make([]ShardStat, len(g.Shards))
+	g.dispatched = make([]bool, len(g.Shards))
+	g.ctxBarrier = pprof.WithLabels(context.Background(), pprof.Labels("phase", "barrier"))
+	g.ctxExchange = pprof.WithLabels(context.Background(), pprof.Labels("phase", "exchange"))
+	g.ctxWindow = make([]context.Context, len(g.Shards))
 	for i, s := range g.Shards {
+		g.ctxWindow[i] = pprof.WithLabels(context.Background(),
+			pprof.Labels("shard", strconv.Itoa(i), "phase", "window"))
 		ch := make(chan shardCmd)
 		g.cmds[i] = ch
-		go g.worker(s, ch)
+		go g.worker(i, s, ch)
 	}
 	g.started = true
 }
 
 // worker runs one shard's windows as commands arrive. The channel receive
 // orders the coordinator's barrier-time writes before the window runs,
-// and wg.Done orders the window's writes before the coordinator resumes.
-func (g *ShardGroup) worker(s *Sim, ch chan shardCmd) {
+// and wg.Done orders the window's writes (including the shard's stat
+// block) before the coordinator resumes. The wall reads time only how
+// long the window took — the value never becomes a sim timestamp and
+// never influences scheduling.
+func (g *ShardGroup) worker(i int, s *Sim, ch chan shardCmd) {
+	pprof.SetGoroutineLabels(g.ctxWindow[i])
+	st := &g.stats[i]
 	for cmd := range ch {
+		start := time.Now() //drill:allow nondeterminism wall-time window telemetry; never converted to sim time
+		e0 := s.Executed
 		if cmd.inclusive {
 			s.RunUntil(cmd.t)
 		} else {
 			s.RunBefore(cmd.t)
 		}
+		d := time.Since(start).Nanoseconds() //drill:allow nondeterminism wall-time window telemetry; never converted to sim time
+		st.Windows++
+		st.Events += s.Executed - e0
+		st.BusyNs += d
+		st.winBusy = d
 		g.wg.Done()
 	}
 }
@@ -143,31 +239,67 @@ func (g *ShardGroup) runShards(t units.Time, inclusive bool) {
 			nBusy++
 		}
 	}
-	if nBusy <= 1 {
+	if nBusy == 0 {
+		for _, s := range g.Shards {
+			s.AdvanceTo(t)
+		}
+		return
+	}
+	if nBusy == 1 {
+		start := time.Now() //drill:allow nondeterminism wall-time window telemetry; never converted to sim time
 		for i, s := range g.Shards {
 			if i == busy {
+				pprof.SetGoroutineLabels(g.ctxWindow[i])
+				e0 := s.Executed
 				if inclusive {
 					s.RunUntil(t)
 				} else {
 					s.RunBefore(t)
 				}
+				g.stats[i].Windows++
+				g.stats[i].Events += s.Executed - e0
+				pprof.SetGoroutineLabels(g.ctxBarrier)
 			} else {
 				s.AdvanceTo(t)
+			}
+		}
+		wall := time.Since(start).Nanoseconds() //drill:allow nondeterminism wall-time window telemetry; never converted to sim time
+		for i := range g.stats {
+			if i == busy {
+				g.stats[i].BusyNs += wall
+			} else {
+				g.stats[i].StallNs += wall
 			}
 		}
 		return
 	}
 	cmd := shardCmd{t: t, inclusive: inclusive}
+	start := time.Now() //drill:allow nondeterminism wall-time window telemetry; never converted to sim time
 	for i, s := range g.Shards {
 		at, ok := s.NextAt()
 		if ok && (at < t || (inclusive && at == t)) {
+			g.dispatched[i] = true
 			g.wg.Add(1)
 			g.cmds[i] <- cmd
 		} else {
+			g.dispatched[i] = false
 			s.AdvanceTo(t)
 		}
 	}
 	g.wg.Wait()
+	wall := time.Since(start).Nanoseconds() //drill:allow nondeterminism wall-time window telemetry; never converted to sim time
+	for i := range g.stats {
+		st := &g.stats[i]
+		if g.dispatched[i] {
+			// The shard ran for winBusy of the window; the rest of the
+			// wall time it sat parked waiting for the slowest shard.
+			if d := wall - st.winBusy; d > 0 {
+				st.StallNs += d
+			}
+		} else {
+			st.StallNs += wall
+		}
+	}
 }
 
 // RunUntil advances the whole group to t: every global event at or before
@@ -180,13 +312,20 @@ func (g *ShardGroup) RunUntil(until units.Time) {
 	if !g.started {
 		panic("sim: ShardGroup not started")
 	}
+	pprof.SetGoroutineLabels(g.ctxBarrier)
+	defer pprof.SetGoroutineLabels(context.Background())
 	T := g.Global.Now()
 	for T < until {
+		g.barriers++
+		pprof.SetGoroutineLabels(g.ctxExchange)
 		g.Exchange()
+		pprof.SetGoroutineLabels(g.ctxBarrier)
 		g.Global.RunUntil(T)
 
 		// Earliest pending event anywhere decides whether a window before
-		// `until` remains, and how wide it can safely be.
+		// `until` remains, and how wide it can safely be. The argmin
+		// shard is remembered purely for attribution: if its earliest
+		// event ends up bounding the window, it is the critical shard.
 		m := until
 		ok := false
 		if at, o := g.Global.NextAt(); o && at < m {
@@ -194,9 +333,10 @@ func (g *ShardGroup) RunUntil(until units.Time) {
 		}
 		mShard := until
 		okShard := false
-		for _, s := range g.Shards {
+		crit := -1
+		for i, s := range g.Shards {
 			if at, o := s.NextAt(); o && at < mShard {
-				mShard, okShard = at, true
+				mShard, okShard, crit = at, true, i
 			}
 		}
 		if okShard && mShard < m {
@@ -212,10 +352,17 @@ func (g *ShardGroup) RunUntil(until units.Time) {
 		W := until
 		if okShard && mShard+g.Lookahead < W {
 			W = mShard + g.Lookahead
+		} else {
+			crit = -1 // the horizon, not a shard, bounded this window
 		}
 		if at, o := g.Global.NextAt(); o && at < W {
 			W = at
+			crit = -1 // a global event bounded this window
 		}
+		if crit >= 0 {
+			g.stats[crit].Critical++
+		}
+		g.win.record(uint64(W - T))
 		g.runShards(W, false)
 		T = W
 	}
@@ -223,7 +370,10 @@ func (g *ShardGroup) RunUntil(until units.Time) {
 	// Final pass: the loop left every clock at `until` with only events
 	// at exactly `until` pending (globals first, then shard events; any
 	// arrivals they generate land strictly after `until`).
+	g.barriers++
+	pprof.SetGoroutineLabels(g.ctxExchange)
 	g.Exchange()
+	pprof.SetGoroutineLabels(g.ctxBarrier)
 	g.Global.RunUntil(until)
 	g.runShards(until, true)
 }
@@ -238,3 +388,21 @@ func (g *ShardGroup) Executed() uint64 {
 	}
 	return n
 }
+
+// ShardStats returns a copy of the per-shard window counters. Call it
+// only with the workers parked — between RunUntil calls, or from a
+// global observer tick, which runs at a barrier — so the barrier
+// happens-before makes every worker's writes visible.
+func (g *ShardGroup) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(g.stats))
+	copy(out, g.stats)
+	return out
+}
+
+// WindowStats returns the window-width distribution recorded so far. The
+// same parked-workers caveat as ShardStats applies (the coordinator is
+// the only writer, so any caller already serialized with RunUntil is safe).
+func (g *ShardGroup) WindowStats() WindowStats { return g.win }
+
+// Barriers reports how many exchange barriers the group has executed.
+func (g *ShardGroup) Barriers() uint64 { return g.barriers }

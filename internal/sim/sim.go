@@ -170,9 +170,37 @@ type Sim struct {
 
 	heapOnly bool // route everything through the near heap (reference mode)
 
+	sched SchedStats // scheduler-internal traffic counters
+
 	// Executed counts events dispatched since creation, for reporting.
 	Executed uint64
 }
+
+// SchedStats counts scheduler-internal traffic: which tier each schedule
+// call routed to, which structure each dispatch came from, and how much
+// work cursor advancement did. Every count is a pure function of the
+// event stream — no wall clock is involved — so two runs of the same seed
+// produce identical stats. An event can be routed more than once: a far
+// event that cascades into the wheel counts under Far at its original
+// schedule and under Wheel (and Cascades) when the horizon reaches it.
+type SchedStats struct {
+	Near         uint64 // schedule calls routed to the near tier
+	Wheel        uint64 // schedule calls routed into a wheel bucket
+	Far          uint64 // schedule calls routed to the far overflow heap
+	DispatchList uint64 // dispatches consumed from the sorted dispatch list
+	DispatchHeap uint64 // dispatches popped from the near heap
+	Cascades     uint64 // far-tier events re-routed as the horizon advanced
+	Pours        uint64 // non-empty cursor buckets poured at advancement
+	PouredEvents uint64 // events moved out of buckets by those pours
+}
+
+// Sched returns a copy of the scheduler-internal counters.
+func (s *Sim) Sched() SchedStats { return s.sched }
+
+// WheelOccupancy reports the number of events currently stored in wheel
+// buckets — the calendar's live population, excluding the near tier and
+// the far overflow heap (Pending covers all tiers).
+func (s *Sim) WheelOccupancy() int { return s.wcount }
 
 // New returns a simulator whose random streams derive from seed.
 func New(seed int64) *Sim {
@@ -407,10 +435,12 @@ func (s *Sim) schedule(ev event) {
 		// heap enforces (at, seq) order directly. Events behind the cursor
 		// window — possible after RunUntil advanced the clock into a quiet
 		// region — land here too, keeping order exact without rewinding.
+		s.sched.Near++
 		s.near.push(ev)
 		return
 	}
 	if ev.at < s.base+horizonW {
+		s.sched.Wheel++
 		b := int32(ev.at>>wheelShift) & wheelMask
 		bk := append(s.buckets[b], ev)
 		s.buckets[b] = bk
@@ -423,6 +453,7 @@ func (s *Sim) schedule(ev event) {
 		s.wcount++
 		return
 	}
+	s.sched.Far++
 	s.far.push(ev)
 }
 
@@ -485,6 +516,7 @@ func (s *Sim) ensureNear() bool {
 		}
 		// Cascade far-tier events the advanced horizon now covers.
 		for len(s.far.ev) > 0 && s.far.ev[0].at < s.base+horizonW {
+			s.sched.Cascades++
 			s.schedule(s.far.popMin())
 		}
 		// Pour the cursor bucket: Timer-owned entries go through the near
@@ -494,6 +526,8 @@ func (s *Sim) ensureNear() bool {
 		// to the bucket, so the two arrays rotate without allocating.
 		bk := s.buckets[s.cur]
 		if len(bk) > 0 {
+			s.sched.Pours++
+			s.sched.PouredEvents += uint64(len(bk))
 			s.wcount -= len(bk)
 			keep := bk[:0]
 			for i := range bk {
@@ -592,12 +626,15 @@ func (s *Sim) step() {
 	if s.dlHead < len(s.dl) {
 		if len(s.near.ev) > 0 && less(&s.near.ev[0], &s.dl[s.dlHead]) {
 			ev = s.near.popMin()
+			s.sched.DispatchHeap++
 		} else {
 			ev = s.dl[s.dlHead]
 			s.dlHead++
+			s.sched.DispatchList++
 		}
 	} else {
 		ev = s.near.popMin()
+		s.sched.DispatchHeap++
 	}
 	if ev.key&keyDaemon != 0 {
 		s.daemons--
